@@ -1,0 +1,23 @@
+"""Figure 16: checker performance on scaled Kerberos/Postgres/Linux corpora."""
+
+from repro.experiments.fig16 import run_figure16
+
+
+def test_figure16_performance(once):
+    result = once(run_figure16, scale=0.004)
+    print()
+    print(result.render())
+
+    by_name = {m.system: m for m in result.measurements}
+    kerberos = by_name["Kerberos"]
+    postgres = by_name["Postgres"]
+    linux = by_name["Linux kernel"]
+
+    # Shape of Figure 16: Linux is by far the largest system, and the query
+    # count scales with corpus size.
+    assert linux.files > postgres.files >= kerberos.files
+    assert linux.queries > postgres.queries
+    assert linux.queries > kerberos.queries
+    # Timeouts stay a small fraction of queries (the paper reports < 0.5%).
+    for measurement in result.measurements:
+        assert measurement.timeout_fraction < 0.05

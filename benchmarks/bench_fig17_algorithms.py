@@ -1,0 +1,27 @@
+"""Figure 17 / §6.5: unstable-code reports per algorithm across the archive."""
+
+from repro.core.report import Algorithm
+from repro.corpus.debian import PAPER_C_PACKAGES, PAPER_PACKAGES_WITH_REPORTS
+from repro.experiments.debian_prevalence import run_prevalence
+
+
+def test_figure17_reports_per_algorithm(once):
+    result = once(run_prevalence, sample_size=60)
+    print()
+    print(result.render_figure17())
+
+    # Every algorithm contributes reports (the paper's point: all three are
+    # useful), and the boolean oracle produces the most, as in Figure 17.
+    by_algorithm = result.reports_by_algorithm
+    assert by_algorithm.get(Algorithm.ELIMINATION, 0) > 0
+    assert by_algorithm.get(Algorithm.SIMPLIFY_BOOLEAN, 0) > 0
+    assert by_algorithm.get(Algorithm.SIMPLIFY_ALGEBRA, 0) > 0
+    assert by_algorithm[Algorithm.SIMPLIFY_BOOLEAN] >= by_algorithm[Algorithm.SIMPLIFY_ALGEBRA]
+
+    # Prevalence (§6.5): the paper finds unstable code in 3,471 of 8,575
+    # packages (~40%).  The extrapolated estimate should land in the same
+    # ballpark (25-60%).
+    fraction = result.extrapolated_packages_with_reports() / PAPER_C_PACKAGES
+    paper_fraction = PAPER_PACKAGES_WITH_REPORTS / PAPER_C_PACKAGES
+    assert 0.25 <= fraction <= 0.60
+    assert abs(fraction - paper_fraction) < 0.25

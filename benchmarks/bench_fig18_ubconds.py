@@ -1,0 +1,22 @@
+"""Figure 18 / §6.5: unstable-code reports per undefined-behavior condition."""
+
+from repro.core.ubconditions import UBKind
+from repro.experiments.debian_prevalence import run_prevalence
+
+
+def test_figure18_reports_per_ub_condition(once):
+    result = once(run_prevalence, sample_size=80)
+    print()
+    print(result.render_figure18())
+
+    by_kind = result.reports_by_kind
+    # Null-pointer dereference dominates the archive-wide reports, as in
+    # Figure 18 (59,230 of ~75k reports).
+    assert by_kind, "no reports at all"
+    dominant = max(by_kind, key=by_kind.get)
+    assert dominant is UBKind.NULL_DEREF
+    # Multiple kinds contribute (the paper lists ten kinds with >20 reports).
+    assert len(by_kind) >= 5
+    # Most reports involve a single UB condition, a few involve several
+    # (paper: 69,301 single vs 2,579 multi).
+    assert result.single_ub_reports > result.multi_ub_reports

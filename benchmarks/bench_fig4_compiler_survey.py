@@ -1,0 +1,15 @@
+"""Figure 4: the compiler survey matrix.
+
+Runs the six unstable sanity checks through all sixteen simulated compiler
+profiles and checks every cell against the matrix printed in the paper.
+"""
+
+from repro.experiments.fig4 import run_figure4
+
+
+def test_figure4_compiler_survey(once):
+    result = once(run_figure4)
+    print()
+    print(result.render())
+    # Every one of the 16 x 6 cells must agree with the paper.
+    assert result.matches_paper, result.mismatches

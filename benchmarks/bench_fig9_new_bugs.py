@@ -1,0 +1,19 @@
+"""Figure 9 / §6.1: the 160 new bugs, by system and undefined-behavior kind."""
+
+from repro.corpus.systems import FIGURE9_KIND_TOTALS, FIGURE9_TOTAL_BUGS
+from repro.experiments.fig9 import run_figure9
+
+
+def test_figure9_new_bugs(once):
+    result = once(run_figure9)
+    print()
+    print(result.render())
+
+    # The paper reports 160 confirmed bugs; every seeded pattern instance in
+    # the synthetic corpora must be confirmed by the checker.
+    assert result.total_seeded == FIGURE9_TOTAL_BUGS
+    assert result.total_confirmed == FIGURE9_TOTAL_BUGS
+    # Column totals (bugs per UB kind) must match the paper's "all" row.
+    assert result.kind_totals() == FIGURE9_KIND_TOTALS
+    # No warnings on the stable filler code.
+    assert result.total_false_positives == 0

@@ -1,0 +1,12 @@
+"""§6.2: the paper's numbered case studies, re-checked one by one."""
+
+from repro.experiments.casestudies import run_case_studies
+
+
+def test_section62_case_studies(once):
+    result = once(run_case_studies)
+    print()
+    print(result.render())
+    # Every numbered example from the paper (Figures 1, 2, 10-15) is detected.
+    assert result.detected_count == len(result.outcomes)
+    assert len(result.outcomes) >= 8

@@ -1,0 +1,19 @@
+"""§6.3: precision of the checker on the Kerberos and Postgres corpora."""
+
+from repro.experiments.casestudies import PAPER_PRECISION, run_precision
+
+
+def test_section63_precision(once):
+    result = once(run_precision)
+    print()
+    print(result.render())
+
+    # Kerberos: the paper reports 11 reports, all real bugs, zero false
+    # warnings after fixing.
+    assert result.system_reports["Kerberos"] == PAPER_PRECISION["Kerberos"]["reports"]
+    assert result.system_redundant["Kerberos"] == 0
+
+    # Postgres: reports exist and the false-warning (redundant) rate is low,
+    # matching the paper's 4-of-68.
+    assert result.system_reports["Postgres"] > 0
+    assert result.false_warning_rate("Postgres") <= 0.15

@@ -1,0 +1,32 @@
+#!/usr/bin/env python3
+"""Regenerate the paper's compiler survey (Figure 4) and the evaluation tables.
+
+Runs the simulated compiler profiles over the six unstable sanity checks,
+prints the Figure 4 matrix, and then prints the §6.6 completeness benchmark
+and the §6.2 case-study table.
+
+Run with:  python examples/compiler_survey.py
+"""
+
+from repro.experiments import (
+    run_case_studies,
+    run_completeness,
+    run_figure4,
+)
+
+
+def main() -> None:
+    figure4 = run_figure4()
+    print(figure4.render())
+    print()
+
+    completeness = run_completeness()
+    print(completeness.render())
+    print()
+
+    case_studies = run_case_studies()
+    print(case_studies.render())
+
+
+if __name__ == "__main__":
+    main()

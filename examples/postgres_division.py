@@ -1,0 +1,73 @@
+#!/usr/bin/env python3
+"""Case study: the Postgres 64-bit signed division bug (§6.2.1, Figure 10).
+
+The Postgres SQL division operator rejected a zero divisor, performed the
+division, and only then tried to catch INT64_MIN / -1 by inspecting the
+quotient.  Because the division itself already has undefined behavior in that
+case, the post-hoc check is unstable: STACK proves it can be folded to false.
+The example also analyzes the developers' replacement check (Figure 14),
+which STACK flags as a *time bomb* — currently harmless, but only because no
+production compiler exploits it yet.
+
+Run with:  python examples/postgres_division.py
+"""
+
+from repro import check_source
+from repro.core.checker import CheckerConfig
+
+ORIGINAL = """
+int64_t int8div(int64_t arg1, int64_t arg2) {
+    if (arg2 == 0)
+        return 0;                       /* ereport(ERROR) in Postgres */
+    int64_t result = arg1 / arg2;
+    /* Overflow check placed AFTER the division: unstable. */
+    if (arg2 == -1 && arg1 < 0 && result <= 0)
+        return 0;
+    return result;
+}
+"""
+
+DEVELOPER_FIX = """
+int64_t int8div_fixed(int64_t arg1, int64_t arg2) {
+    if (arg2 == 0)
+        return 0;
+    /* The developers' own fix (Figure 14): detect INT64_MIN via negation.
+     * The negation itself overflows for INT64_MIN, so this is a time bomb. */
+    if (arg1 != 0 && ((-arg1 < 0) == (arg1 < 0)))
+        return 0;
+    return arg1 / arg2;
+}
+"""
+
+RECOMMENDED_FIX = """
+int64_t int8div_safe(int64_t arg1, int64_t arg2) {
+    if (arg2 == 0)
+        return 0;
+    /* The paper's recommended fix: compare against the constant directly,
+     * before dividing. */
+    if (arg1 == -9223372036854775807 - 1 && arg2 == -1)
+        return 0;
+    return arg1 / arg2;
+}
+"""
+
+
+def show(title: str, source: str) -> None:
+    print(f"=== {title} ===")
+    report = check_source(source, filename=f"{title}.c")
+    if not report.bugs:
+        print("no unstable code found\n")
+        return
+    for bug in report.bugs:
+        print(bug.describe())
+        print()
+
+
+def main() -> None:
+    show("original Postgres operator", ORIGINAL)
+    show("developers' replacement check", DEVELOPER_FIX)
+    show("recommended fix", RECOMMENDED_FIX)
+
+
+if __name__ == "__main__":
+    main()

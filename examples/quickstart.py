@@ -1,0 +1,53 @@
+#!/usr/bin/env python3
+"""Quickstart: find optimization-unstable code in a C snippet.
+
+This is the reproduction of the paper's headline workflow: hand STACK a
+translation unit, get back warnings that name the unstable fragment, the
+simplification the optimizer is entitled to make, and the undefined behavior
+that licenses it.
+
+Run with:  python examples/quickstart.py
+"""
+
+from repro import check_source
+
+SOURCE = """
+/* A sanity check in the style of Figure 1 of the paper: the programmer
+ * wants to reject a `len` so large that `buf + len` wraps around, but an
+ * optimizing compiler may assume pointer arithmetic never overflows and
+ * silently delete the second check. */
+int validate(char *buf, char *buf_end, unsigned int len) {
+    if (buf + len >= buf_end)
+        return -1;          /* len too large */
+    if (buf + len < buf)
+        return -1;          /* overflow check: unstable! */
+    return 0;
+}
+
+/* The Linux TUN driver bug (Figure 2, CVE-2009-1897): the dereference makes
+ * the later null check dead. */
+struct sock { int fd; };
+struct tun_struct { struct sock *sk; };
+int tun_chr_poll(struct tun_struct *tun) {
+    struct sock *sk = tun->sk;
+    if (!tun)
+        return 1;
+    return 0;
+}
+"""
+
+
+def main() -> None:
+    report = check_source(SOURCE, filename="quickstart.c")
+    print(report.describe())
+    print()
+    print("Summary by algorithm:")
+    for algorithm, count in report.by_algorithm().items():
+        print(f"  {algorithm.value:40s} {count}")
+    print("Summary by undefined behavior:")
+    for kind, count in report.by_ub_kind().items():
+        print(f"  {kind.value:40s} {count}")
+
+
+if __name__ == "__main__":
+    main()

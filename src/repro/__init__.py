@@ -1,0 +1,69 @@
+"""repro — a reproduction of STACK (SOSP 2013).
+
+STACK detects *optimization-unstable code*: code that a C compiler may
+silently discard by assuming the program never invokes undefined behavior.
+This package re-implements the full system in Python:
+
+* :mod:`repro.frontend` — a MiniC frontend (lexer, parser, types, sema),
+* :mod:`repro.ir` — an LLVM-flavoured intermediate representation,
+* :mod:`repro.lower` — AST→IR lowering and inlining with origin tracking,
+* :mod:`repro.solver` — a QF_BV constraint solver (bit-blasting + CDCL SAT),
+* :mod:`repro.core` — the STACK checker itself (UB conditions, elimination,
+  simplification, minimal UB sets, report generation and classification),
+* :mod:`repro.compilers` — simulated compiler profiles used for the paper's
+  compiler survey (Figure 4),
+* :mod:`repro.corpus` — the paper's code snippets and synthetic corpora,
+* :mod:`repro.experiments` — drivers that regenerate every table and figure.
+
+Quickstart::
+
+    from repro import check_source
+
+    report = check_source('''
+        int f(int *p) {
+            int x = *p;
+            if (!p) return -1;
+            return x;
+        }
+    ''')
+    for bug in report.bugs:
+        print(bug.describe())
+"""
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "BugReport",
+    "CheckerConfig",
+    "Diagnostic",
+    "StackChecker",
+    "check_function",
+    "check_module",
+    "check_source",
+    "compile_source",
+    "__version__",
+]
+
+_LAZY_ATTRS = {
+    "check_function": ("repro.api", "check_function"),
+    "check_module": ("repro.api", "check_module"),
+    "check_source": ("repro.api", "check_source"),
+    "compile_source": ("repro.api", "compile_source"),
+    "StackChecker": ("repro.core.checker", "StackChecker"),
+    "CheckerConfig": ("repro.core.checker", "CheckerConfig"),
+    "BugReport": ("repro.core.report", "BugReport"),
+    "Diagnostic": ("repro.core.report", "Diagnostic"),
+}
+
+
+def __getattr__(name: str):
+    """Lazily resolve the public API to keep sub-package imports independent."""
+    target = _LAZY_ATTRS.get(name)
+    if target is None:
+        raise AttributeError(f"module 'repro' has no attribute {name!r}")
+    import importlib
+
+    module = importlib.import_module(target[0])
+    value = getattr(module, target[1])
+    globals()[name] = value
+    return value

@@ -1,0 +1,54 @@
+"""High-level convenience API.
+
+These helpers tie the whole pipeline together the way ``stack-build`` does in
+the paper (Figure 7): compile C-like source to IR, run the checker, and hand
+back a :class:`~repro.core.report.BugReport`.
+
+Typical use::
+
+    from repro import check_source
+
+    report = check_source(POINTER_OVERFLOW_SNIPPET)
+    for bug in report.bugs:
+        print(bug.describe())
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.core.checker import CheckerConfig, StackChecker
+from repro.core.report import BugReport, FunctionReport
+from repro.frontend.parser import parse
+from repro.frontend.preprocessor import Preprocessor
+from repro.frontend.sema import analyze
+from repro.ir.function import Function, Module
+from repro.lower.lowering import lower_translation_unit
+
+
+def compile_source(source: str, filename: str = "<input>",
+                   promote: bool = True,
+                   preprocessor: Optional[Preprocessor] = None) -> Module:
+    """Compile MiniC source text into an IR module (frontend + lowering)."""
+    unit = analyze(parse(source, filename, preprocessor=preprocessor))
+    return lower_translation_unit(unit, module_name=filename, promote=promote)
+
+
+def check_module(module: Module, config: Optional[CheckerConfig] = None) -> BugReport:
+    """Run the STACK checker over an already-compiled IR module."""
+    checker = StackChecker(config)
+    return checker.check_module(module)
+
+
+def check_function(function: Function,
+                   config: Optional[CheckerConfig] = None) -> FunctionReport:
+    """Run the STACK checker over a single IR function."""
+    checker = StackChecker(config)
+    return checker.check_function(function)
+
+
+def check_source(source: str, filename: str = "<input>",
+                 config: Optional[CheckerConfig] = None) -> BugReport:
+    """Compile ``source`` and check it for unstable code in one call."""
+    module = compile_source(source, filename)
+    return check_module(module, config)

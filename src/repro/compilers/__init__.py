@@ -1,0 +1,42 @@
+"""Simulated compilers for the paper's optimization survey (§2.3, Figure 4).
+
+The paper tests 12 real C/C++ compilers (16 versions) on six unstable sanity
+checks and records the lowest ``-O`` level at which each compiler folds the
+check away.  Real 2013-era compilers are obviously not available here, so the
+reproduction models each compiler version as an *optimization pipeline*: a
+set of UB-exploiting transformation capabilities, each enabled starting at a
+particular optimization level.  The capabilities themselves are implemented
+as genuine IR passes (:mod:`repro.compilers.passes`); the per-compiler
+capability table (:mod:`repro.compilers.profiles`) is calibrated from the
+observations reported in Figure 4.  Re-running the survey therefore exercises
+the passes mechanically rather than replaying a lookup table.
+"""
+
+from repro.compilers.passes import (
+    Capability,
+    NullCheckEliminationPass,
+    OptimizationContext,
+    SimplifyCfgPass,
+    UBAwareInstSimplifyPass,
+    ValueRangeAnalysis,
+)
+from repro.compilers.pipeline import OptimizationPipeline, optimize_function
+from repro.compilers.profiles import ALL_PROFILES, CompilerProfile, profile_by_name
+from repro.compilers.survey import SurveyResult, run_survey, survey_matrix
+
+__all__ = [
+    "ALL_PROFILES",
+    "Capability",
+    "CompilerProfile",
+    "NullCheckEliminationPass",
+    "OptimizationContext",
+    "OptimizationPipeline",
+    "SimplifyCfgPass",
+    "SurveyResult",
+    "UBAwareInstSimplifyPass",
+    "ValueRangeAnalysis",
+    "optimize_function",
+    "profile_by_name",
+    "run_survey",
+    "survey_matrix",
+]

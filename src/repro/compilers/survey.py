@@ -1,0 +1,194 @@
+"""The compiler survey of §2.3 (Figure 4).
+
+For each compiler profile and each of the six unstable sanity checks, find
+the lowest ``-O`` level at which the simulated optimizer folds the check away
+and discards the guarded statement.  Discarding is detected mechanically: the
+guarded statement returns a distinctive marker constant, and after running
+the profile's pass pipeline the survey looks for a surviving ``ret`` of that
+marker.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+from repro.compilers.pipeline import OptimizationPipeline
+from repro.compilers.profiles import ALL_PROFILES, CompilerProfile
+from repro.ir.function import Module
+from repro.ir.instructions import Return
+from repro.ir.values import Constant
+
+#: Marker constant returned by the guarded statement in every example.
+MARKER = 123456789
+
+
+@dataclass(frozen=True)
+class SurveyExample:
+    """One column of Figure 4."""
+
+    key: str
+    label: str
+    source: str
+
+
+#: The six unstable sanity checks of Figure 4 (§2.2), in column order.
+SURVEY_EXAMPLES: List[SurveyExample] = [
+    SurveyExample(
+        "pointer", "if (p + 100 < p)",
+        f"""
+        int check(char *p) {{
+            if (p + 100 < p) return {MARKER};
+            return 0;
+        }}
+        """),
+    SurveyExample(
+        "null", "*p; if (!p)",
+        f"""
+        int check(int *p) {{
+            int x = *p;
+            if (!p) return {MARKER};
+            return x;
+        }}
+        """),
+    SurveyExample(
+        "signed", "if (x + 100 < x)",
+        f"""
+        int check(int x) {{
+            if (x + 100 < x) return {MARKER};
+            return 0;
+        }}
+        """),
+    SurveyExample(
+        "signed-positive", "if (x+ + 100 < 0)",
+        f"""
+        int check(int x) {{
+            if (x <= 0) return 0;
+            if (x + 100 < 0) return {MARKER};
+            return 1;
+        }}
+        """),
+    SurveyExample(
+        "shift", "if (!(1 << x))",
+        f"""
+        int check(int x) {{
+            if (!(1 << x)) return {MARKER};
+            return 0;
+        }}
+        """),
+    SurveyExample(
+        "abs", "if (abs(x) < 0)",
+        f"""
+        int check(int x) {{
+            if (abs(x) < 0) return {MARKER};
+            return 0;
+        }}
+        """),
+]
+
+#: The matrix the paper reports (Figure 4): compiler -> example key -> level.
+PAPER_FIGURE4: Dict[str, Dict[str, Optional[int]]] = {
+    "gcc-2.95.3":      {"pointer": None, "null": None, "signed": 1, "signed-positive": None, "shift": None, "abs": None},
+    "gcc-3.4.6":       {"pointer": None, "null": 2, "signed": 1, "signed-positive": None, "shift": None, "abs": None},
+    "gcc-4.2.1":       {"pointer": 0, "null": None, "signed": 2, "signed-positive": None, "shift": None, "abs": 2},
+    "gcc-4.8.1":       {"pointer": 2, "null": 2, "signed": 2, "signed-positive": 2, "shift": None, "abs": 2},
+    "clang-1.0":       {"pointer": 1, "null": None, "signed": None, "signed-positive": None, "shift": None, "abs": None},
+    "clang-3.3":       {"pointer": 1, "null": None, "signed": 1, "signed-positive": None, "shift": 1, "abs": None},
+    "aCC-6.25":        {"pointer": None, "null": None, "signed": None, "signed-positive": None, "shift": None, "abs": 3},
+    "armcc-5.02":      {"pointer": None, "null": None, "signed": 2, "signed-positive": None, "shift": None, "abs": None},
+    "icc-14.0.0":      {"pointer": None, "null": 2, "signed": 1, "signed-positive": 2, "shift": None, "abs": None},
+    "msvc-11.0":       {"pointer": None, "null": 1, "signed": None, "signed-positive": None, "shift": None, "abs": None},
+    "open64-4.5.2":    {"pointer": 1, "null": None, "signed": 2, "signed-positive": None, "shift": None, "abs": 2},
+    "pathcc-1.0.0":    {"pointer": 1, "null": None, "signed": 2, "signed-positive": None, "shift": None, "abs": 2},
+    "suncc-5.12":      {"pointer": None, "null": 3, "signed": None, "signed-positive": None, "shift": None, "abs": None},
+    "ti-7.4.2":        {"pointer": 0, "null": None, "signed": 0, "signed-positive": 2, "shift": None, "abs": None},
+    "windriver-5.9.2": {"pointer": None, "null": None, "signed": 0, "signed-positive": None, "shift": None, "abs": None},
+    "xlc-12.1":        {"pointer": 3, "null": None, "signed": None, "signed-positive": None, "shift": None, "abs": None},
+}
+
+
+@dataclass
+class SurveyResult:
+    """The regenerated Figure 4 matrix."""
+
+    #: compiler name -> example key -> lowest level that discards (None = never).
+    matrix: Dict[str, Dict[str, Optional[int]]] = field(default_factory=dict)
+    examples: Sequence[SurveyExample] = field(default_factory=lambda: SURVEY_EXAMPLES)
+
+    def cell(self, compiler: str, example_key: str) -> Optional[int]:
+        return self.matrix.get(compiler, {}).get(example_key)
+
+    def matches_paper(self) -> bool:
+        """True iff every cell agrees with the paper's Figure 4."""
+        return not self.mismatches()
+
+    def mismatches(self) -> List[str]:
+        problems: List[str] = []
+        for compiler, row in PAPER_FIGURE4.items():
+            for key, expected in row.items():
+                actual = self.cell(compiler, key)
+                if actual != expected:
+                    problems.append(
+                        f"{compiler}/{key}: paper says "
+                        f"{_cell_text(expected)}, survey got {_cell_text(actual)}")
+        return problems
+
+
+def _cell_text(level: Optional[int]) -> str:
+    return "-" if level is None else f"O{level}"
+
+
+def _fresh_module(example: SurveyExample) -> Module:
+    from repro.api import compile_source
+
+    return compile_source(example.source, filename=f"survey_{example.key}.c")
+
+
+def _check_survives(module: Module) -> bool:
+    """Does any surviving return still produce the marker constant?"""
+    for function in module.defined_functions():
+        for inst in function.instructions():
+            if isinstance(inst, Return) and isinstance(inst.value, Constant) \
+                    and inst.value.value == MARKER:
+                return True
+    return False
+
+
+def discard_level(profile: CompilerProfile, example: SurveyExample,
+                  max_level: int = 3) -> Optional[int]:
+    """The lowest -O level at which ``profile`` discards the example's check."""
+    for level in range(0, max_level + 1):
+        module = _fresh_module(example)
+        pipeline = OptimizationPipeline(capabilities=profile.capabilities_at(level))
+        pipeline.run_module(module)
+        if not _check_survives(module):
+            return level
+    return None
+
+
+def run_survey(profiles: Sequence[CompilerProfile] = tuple(ALL_PROFILES),
+               examples: Sequence[SurveyExample] = tuple(SURVEY_EXAMPLES),
+               max_level: int = 3) -> SurveyResult:
+    """Regenerate the Figure 4 matrix by running the pass pipelines."""
+    result = SurveyResult(examples=list(examples))
+    for profile in profiles:
+        row: Dict[str, Optional[int]] = {}
+        for example in examples:
+            row[example.key] = discard_level(profile, example, max_level)
+        result.matrix[profile.name] = row
+    return result
+
+
+def survey_matrix(result: Optional[SurveyResult] = None) -> str:
+    """Render the survey as the text table of Figure 4."""
+    if result is None:
+        result = run_survey()
+    header = ["compiler"] + [example.label for example in result.examples]
+    widths = [max(18, len(header[0]))] + [max(16, len(h)) for h in header[1:]]
+    lines = ["  ".join(h.ljust(w) for h, w in zip(header, widths))]
+    for compiler in result.matrix:
+        cells = [compiler.ljust(widths[0])]
+        for example, width in zip(result.examples, widths[1:]):
+            cells.append(_cell_text(result.cell(compiler, example.key)).ljust(width))
+        lines.append("  ".join(cells))
+    return "\n".join(lines)

@@ -1,0 +1,34 @@
+"""The STACK checker: detection of optimization-unstable code.
+
+This package implements the paper's core contribution (§3–§5):
+
+* :mod:`repro.core.ubconditions` — the undefined-behavior condition table
+  (Figure 3) and the annotation pass that attaches conditions to IR
+  instructions (the paper's ``bug_on`` insertion, §4.3).
+* :mod:`repro.core.encode` — translation of IR values, reachability
+  conditions, and UB conditions into solver terms (§4.4).
+* :mod:`repro.core.elimination` — the elimination algorithm (Figure 5).
+* :mod:`repro.core.simplification` — the simplification algorithm with the
+  boolean and algebra oracles (Figure 6).
+* :mod:`repro.core.mincond` — minimal UB-condition sets (Figure 8).
+* :mod:`repro.core.report` — diagnostics and bug reports (§4.5).
+* :mod:`repro.core.classify` — the §6.2 report taxonomy (non-optimization
+  bugs, urgent optimization bugs, time bombs, redundant code).
+* :mod:`repro.core.checker` — the four-stage pipeline facade (Figure 7).
+"""
+
+from repro.core.checker import CheckerConfig, StackChecker
+from repro.core.classify import BugClass, classify_diagnostic
+from repro.core.report import BugReport, Diagnostic
+from repro.core.ubconditions import UBKind, UBCondition
+
+__all__ = [
+    "BugClass",
+    "BugReport",
+    "CheckerConfig",
+    "Diagnostic",
+    "StackChecker",
+    "UBCondition",
+    "UBKind",
+    "classify_diagnostic",
+]

@@ -1,0 +1,202 @@
+"""The StackChecker facade: the four-stage pipeline of Figure 7.
+
+Stage 1 — the frontend — lives in :mod:`repro.frontend` / :mod:`repro.lower`
+(`stack-build` intercepting the compiler corresponds to
+:func:`repro.api.compile_source`).  This module implements stages 2–4 on IR:
+
+2. UB-condition insertion (via :class:`~repro.core.encode.FunctionEncoder`),
+3. solver-based optimization — elimination, then simplification with the
+   boolean oracle, then the algebra oracle (§4.4),
+4. bug report generation — compiler-origin filtering, minimal UB sets, and
+   classification (§4.5).
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence
+
+from repro.core.classify import classify_all
+from repro.core.elimination import EliminationFinding, run_elimination
+from repro.core.encode import EncoderOptions, FunctionEncoder
+from repro.core.mincond import minimal_ub_conditions
+from repro.core.queries import QueryEngine
+from repro.core.report import (
+    Algorithm,
+    BugReport,
+    Diagnostic,
+    FunctionReport,
+    MinimalUBSet,
+)
+from repro.core.simplification import (
+    AlgebraOracle,
+    BooleanOracle,
+    SimplificationFinding,
+    run_simplification,
+)
+from repro.ir.function import Function, Module
+from repro.ir.instructions import Instruction
+from repro.ir.printer import print_instruction
+from repro.ir.verifier import verify_module
+
+
+@dataclass
+class CheckerConfig:
+    """Configuration of a checker run."""
+
+    #: Per-query solver timeout in seconds (the paper uses 5 s).
+    solver_timeout: float = 5.0
+    #: Additional deterministic budget: maximum CDCL conflicts per query.
+    max_conflicts: int = 50_000
+    #: Inline same-module callees before checking (§4.2).
+    inline: bool = True
+    #: Suppress diagnostics whose code the compiler generated (macros /
+    #: inlined callees), as §4.2/§4.5 prescribe.
+    ignore_compiler_generated: bool = True
+    #: Compute minimal UB sets (Figure 8).  Disabling skips the extra queries.
+    minimize_ub_sets: bool = True
+    #: Run the elimination algorithm.
+    enable_elimination: bool = True
+    #: Run simplification with the boolean oracle.
+    enable_boolean_oracle: bool = True
+    #: Run simplification with the algebra oracle.
+    enable_algebra_oracle: bool = True
+    #: Options forwarded to the encoder.
+    encoder_options: EncoderOptions = field(default_factory=EncoderOptions)
+    #: Classify diagnostics into the §6.2 taxonomy.
+    classify: bool = True
+
+
+class StackChecker:
+    """Detects optimization-unstable code in IR modules."""
+
+    def __init__(self, config: Optional[CheckerConfig] = None) -> None:
+        self.config = config if config is not None else CheckerConfig()
+
+    # -- public API ----------------------------------------------------------------
+
+    def check_module(self, module: Module) -> BugReport:
+        """Check every defined function in ``module``."""
+        verify_module(module)
+        if self.config.inline:
+            from repro.lower.inline import inline_module
+            inline_module(module)
+        report = BugReport(module=module.name)
+        for function in module.defined_functions():
+            report.functions.append(self.check_function(function))
+        return report
+
+    def check_function(self, function: Function) -> FunctionReport:
+        """Check a single function and return its report."""
+        started = time.monotonic()
+        encoder = FunctionEncoder(function, options=self.config.encoder_options)
+        engine = QueryEngine(encoder, timeout=self.config.solver_timeout,
+                             max_conflicts=self.config.max_conflicts)
+        result = FunctionReport(function=function.name)
+
+        elimination_findings: List[EliminationFinding] = []
+        if self.config.enable_elimination:
+            elimination_findings = run_elimination(encoder, engine)
+
+        # Comparisons inside blocks already proven unreachable need no second
+        # look by the simplification oracles.
+        dead_instructions: List[Instruction] = []
+        for finding in elimination_findings:
+            dead_instructions.extend(finding.block.instructions)
+
+        oracles = []
+        if self.config.enable_boolean_oracle:
+            oracles.append(BooleanOracle())
+        if self.config.enable_algebra_oracle:
+            oracles.append(AlgebraOracle())
+        simplification_findings: List[SimplificationFinding] = []
+        if oracles:
+            simplification_findings = run_simplification(
+                encoder, engine, oracles, skip_instructions=dead_instructions)
+
+        diagnostics: List[Diagnostic] = []
+        suppressed = 0
+        for finding in elimination_findings:
+            if finding.trivially_dead:
+                continue
+            diagnostic = self._diagnostic_from_elimination(encoder, engine, finding)
+            if diagnostic is None:
+                suppressed += 1
+                continue
+            diagnostics.append(diagnostic)
+        for finding in simplification_findings:
+            if finding.trivially_simplified:
+                continue
+            diagnostic = self._diagnostic_from_simplification(encoder, engine, finding)
+            if diagnostic is None:
+                suppressed += 1
+                continue
+            diagnostics.append(diagnostic)
+
+        if self.config.classify:
+            classify_all(diagnostics)
+
+        result.diagnostics = diagnostics
+        result.suppressed_compiler_origin = suppressed
+        result.queries = engine.stats.queries
+        result.timeouts = engine.stats.timeouts
+        result.analysis_time = time.monotonic() - started
+        return result
+
+    # -- diagnostic construction -------------------------------------------------------
+
+    def _minimal_set(self, encoder: FunctionEncoder, engine: QueryEngine,
+                     hypothesis, conditions) -> MinimalUBSet:
+        if not self.config.minimize_ub_sets:
+            return MinimalUBSet(list(conditions))
+        return minimal_ub_conditions(engine, hypothesis, conditions)
+
+    def _diagnostic_from_elimination(
+        self, encoder: FunctionEncoder, engine: QueryEngine,
+        finding: EliminationFinding,
+    ) -> Optional[Diagnostic]:
+        representative = finding.representative
+        if representative is None:
+            return None
+        if self.config.ignore_compiler_generated and \
+                not representative.origin.is_user_code():
+            return None
+        ub_set = self._minimal_set(encoder, engine,
+                                   finding.hypothesis, finding.conditions)
+        fragment = print_instruction(representative)
+        message = ("this code becomes unreachable once the compiler assumes "
+                   "the program never invokes undefined behavior")
+        return Diagnostic(
+            function=encoder.function.name,
+            location=representative.location,
+            algorithm=Algorithm.ELIMINATION,
+            message=message,
+            fragment=fragment,
+            replacement="(code removed)",
+            ub_set=ub_set,
+            origin=representative.origin,
+        )
+
+    def _diagnostic_from_simplification(
+        self, encoder: FunctionEncoder, engine: QueryEngine,
+        finding: SimplificationFinding,
+    ) -> Optional[Diagnostic]:
+        inst = finding.instruction
+        if self.config.ignore_compiler_generated and not inst.origin.is_user_code():
+            return None
+        ub_set = self._minimal_set(encoder, engine,
+                                   finding.hypothesis, finding.conditions)
+        fragment = print_instruction(inst)
+        message = ("this comparison can be simplified once the compiler assumes "
+                   "the program never invokes undefined behavior")
+        return Diagnostic(
+            function=encoder.function.name,
+            location=inst.location,
+            algorithm=finding.algorithm,
+            message=message,
+            fragment=fragment,
+            replacement=finding.proposal.description,
+            ub_set=ub_set,
+            origin=inst.origin,
+        )

@@ -1,0 +1,88 @@
+"""The elimination algorithm (Figure 5 of the paper).
+
+A fragment is reported as unstable when it is reachable for some input under
+plain C* semantics, but *unreachable* once the well-defined program
+assumption Δ is added — i.e. every input that reaches it must trigger
+undefined behavior earlier.  Fragments that are unreachable even without Δ
+are trivially dead and removed silently, exactly as in Figure 5.
+
+The granularity is the basic block: after lowering, every guarded statement
+(e.g. the body of an ``if``) lives in its own block, so block-level
+elimination corresponds to the paper's statement-level elimination.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+from repro.core.encode import FunctionEncoder
+from repro.core.queries import QueryEngine
+from repro.core.report import Algorithm
+from repro.core.ubconditions import UBCondition
+from repro.ir.function import BasicBlock
+from repro.ir.instructions import Branch, Instruction
+from repro.solver.terms import Term
+
+
+@dataclass
+class EliminationFinding:
+    """One block identified by the elimination algorithm."""
+
+    block: BasicBlock
+    algorithm: Algorithm = Algorithm.ELIMINATION
+    #: True when the block is dead even without the well-defined assumption;
+    #: such blocks are removed silently and never reported (Figure 5, line 4).
+    trivially_dead: bool = False
+    #: The H term(s) of the query, needed for minimal-UB-set computation.
+    hypothesis: List[Term] = field(default_factory=list)
+    #: Dominating UB conditions that were conjoined (negated) into the query.
+    conditions: List[UBCondition] = field(default_factory=list)
+
+    @property
+    def representative(self) -> Optional[Instruction]:
+        """The instruction used for the diagnostic's location and origin."""
+        for inst in self.block.instructions:
+            if inst.origin.is_user_code() and inst.location.is_known():
+                return inst
+        return self.block.instructions[0] if self.block.instructions else None
+
+
+def run_elimination(encoder: FunctionEncoder, engine: QueryEngine,
+                    skip_empty_blocks: bool = True) -> List[EliminationFinding]:
+    """Run Figure 5 over every block of the encoder's function."""
+    findings: List[EliminationFinding] = []
+    function = encoder.function
+    for block in function.blocks:
+        if block is function.entry:
+            continue
+        if skip_empty_blocks and _is_structural_join(block):
+            continue
+
+        reach = encoder.block_reach(block)
+        plain_unsat = engine.is_unsat([reach])
+        if plain_unsat is True:
+            findings.append(EliminationFinding(block, trivially_dead=True))
+            continue
+        if plain_unsat is None:
+            # Timeout: conservatively skip (the paper misses such cases too).
+            continue
+
+        conditions = encoder.block_dominating_ub_conditions(block)
+        if not conditions:
+            continue
+        delta = encoder.well_defined_over(conditions)
+        with_assumption = engine.is_unsat([reach, delta])
+        if with_assumption is True:
+            findings.append(EliminationFinding(
+                block, hypothesis=[reach], conditions=conditions))
+    return findings
+
+
+def _is_structural_join(block: BasicBlock) -> bool:
+    """True for blocks that only exist to merge control flow (no user code)."""
+    interesting = [
+        inst for inst in block.instructions
+        if not isinstance(inst, Branch)
+    ]
+    return not interesting

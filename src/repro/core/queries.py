@@ -1,0 +1,72 @@
+"""Query execution for the solver-based optimizer.
+
+Each elimination/simplification decision is one satisfiability query.  The
+:class:`QueryEngine` builds a fresh solver per query (the assertion sets are
+small), conjoins the auxiliary definitions the encoder registered for the
+variables mentioned, applies the per-query timeout (the paper uses 5 s with
+Boolector), and tracks the counters reported in Figure 16 (#queries and
+#query timeouts).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence
+
+from repro.core.encode import FunctionEncoder
+from repro.solver.solver import CheckResult, Solver
+from repro.solver.terms import Term
+
+
+@dataclass
+class QueryStats:
+    """Counters across all queries issued by one checker run."""
+
+    queries: int = 0
+    timeouts: int = 0
+    sat: int = 0
+    unsat: int = 0
+    total_time: float = 0.0
+
+    def merge(self, other: "QueryStats") -> None:
+        self.queries += other.queries
+        self.timeouts += other.timeouts
+        self.sat += other.sat
+        self.unsat += other.unsat
+        self.total_time += other.total_time
+
+
+class QueryEngine:
+    """Issues satisfiability queries for one function's encoder."""
+
+    def __init__(self, encoder: FunctionEncoder, timeout: Optional[float] = 5.0,
+                 max_conflicts: Optional[int] = 50_000) -> None:
+        self.encoder = encoder
+        self.timeout = timeout
+        self.max_conflicts = max_conflicts
+        self.stats = QueryStats()
+
+    def is_unsat(self, terms: Sequence[Term]) -> Optional[bool]:
+        """Decide whether the conjunction of ``terms`` is unsatisfiable.
+
+        Returns True (UNSAT), False (SAT), or None when the query timed out
+        (in which case the checker conservatively assumes nothing).
+        """
+        solver = Solver(self.encoder.manager, timeout=self.timeout,
+                        max_conflicts=self.max_conflicts)
+        for term in terms:
+            solver.add(term)
+        for definition in self.encoder.definitions_for(*terms):
+            solver.add(definition)
+        result = solver.check()
+
+        self.stats.queries += 1
+        self.stats.total_time += solver.stats.total_time
+        if result is CheckResult.UNSAT:
+            self.stats.unsat += 1
+            return True
+        if result is CheckResult.SAT:
+            self.stats.sat += 1
+            return False
+        self.stats.timeouts += 1
+        return None

@@ -1,0 +1,146 @@
+"""Bug reports and diagnostics (§4.5 of the paper).
+
+A :class:`Diagnostic` describes one piece of unstable code: where it is,
+which algorithm found it (elimination, boolean simplification, or algebra
+simplification), what the optimizer would do to it, and the minimal set of
+undefined-behavior conditions responsible.  A :class:`BugReport` aggregates
+the diagnostics for a module together with the query statistics.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+from repro.core.ubconditions import UBCondition, UBKind
+from repro.ir.source import Origin, SourceLocation
+
+
+class Algorithm(enum.Enum):
+    """Which solver-based optimization identified the unstable code (§3.2)."""
+
+    ELIMINATION = "elimination"
+    SIMPLIFY_BOOLEAN = "simplification (boolean oracle)"
+    SIMPLIFY_ALGEBRA = "simplification (algebra oracle)"
+
+
+@dataclass
+class MinimalUBSet:
+    """The minimal set of UB conditions that makes a fragment unstable (Fig. 8)."""
+
+    conditions: List[UBCondition] = field(default_factory=list)
+
+    @property
+    def kinds(self) -> List[UBKind]:
+        return [c.kind for c in self.conditions]
+
+    def __len__(self) -> int:
+        return len(self.conditions)
+
+    def __iter__(self):
+        return iter(self.conditions)
+
+    def describe(self) -> str:
+        if not self.conditions:
+            return "(no single UB condition isolated)"
+        return "; ".join(c.describe() for c in self.conditions)
+
+
+@dataclass
+class Diagnostic:
+    """One unstable-code warning."""
+
+    function: str
+    location: SourceLocation
+    algorithm: Algorithm
+    message: str
+    fragment: str = ""                   # printed IR of the unstable fragment
+    replacement: str = ""                # what the optimizer would fold it to
+    ub_set: MinimalUBSet = field(default_factory=MinimalUBSet)
+    origin: Optional[Origin] = None
+    classification: Optional[str] = None  # filled by repro.core.classify
+
+    @property
+    def ub_kinds(self) -> List[UBKind]:
+        return self.ub_set.kinds
+
+    def describe(self) -> str:
+        lines = [f"{self.location}: unstable code in function '{self.function}'",
+                 f"  {self.message}"]
+        if self.replacement:
+            lines.append(f"  the optimizer may replace it with: {self.replacement}")
+        lines.append(f"  found by: {self.algorithm.value}")
+        lines.append(f"  undefined behavior involved: {self.ub_set.describe()}")
+        if self.classification:
+            lines.append(f"  classification: {self.classification}")
+        return "\n".join(lines)
+
+    def __repr__(self) -> str:
+        return f"<Diagnostic {self.function} {self.location} {self.algorithm.name}>"
+
+
+@dataclass
+class FunctionReport:
+    """Diagnostics and counters for one analyzed function."""
+
+    function: str
+    diagnostics: List[Diagnostic] = field(default_factory=list)
+    queries: int = 0
+    timeouts: int = 0
+    analysis_time: float = 0.0
+    suppressed_compiler_origin: int = 0     # warnings dropped per §4.2/§4.5
+
+
+@dataclass
+class BugReport:
+    """The result of checking a module (or a whole build)."""
+
+    module: str = ""
+    functions: List[FunctionReport] = field(default_factory=list)
+
+    @property
+    def bugs(self) -> List[Diagnostic]:
+        out: List[Diagnostic] = []
+        for report in self.functions:
+            out.extend(report.diagnostics)
+        return out
+
+    @property
+    def queries(self) -> int:
+        return sum(f.queries for f in self.functions)
+
+    @property
+    def timeouts(self) -> int:
+        return sum(f.timeouts for f in self.functions)
+
+    @property
+    def analysis_time(self) -> float:
+        return sum(f.analysis_time for f in self.functions)
+
+    def by_algorithm(self) -> Dict[Algorithm, int]:
+        counts = {algorithm: 0 for algorithm in Algorithm}
+        for diagnostic in self.bugs:
+            counts[diagnostic.algorithm] += 1
+        return counts
+
+    def by_ub_kind(self) -> Dict[UBKind, int]:
+        counts: Dict[UBKind, int] = {}
+        for diagnostic in self.bugs:
+            for kind in set(diagnostic.ub_kinds):
+                counts[kind] = counts.get(kind, 0) + 1
+        return counts
+
+    def describe(self) -> str:
+        lines = [f"== Stack report for {self.module or '<module>'} =="]
+        if not self.bugs:
+            lines.append("no unstable code found")
+        for diagnostic in self.bugs:
+            lines.append(diagnostic.describe())
+            lines.append("")
+        lines.append(f"{len(self.bugs)} warning(s), {self.queries} solver queries, "
+                     f"{self.timeouts} timeouts")
+        return "\n".join(lines)
+
+    def merge(self, other: "BugReport") -> None:
+        self.functions.extend(other.functions)

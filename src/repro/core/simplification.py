@@ -1,0 +1,220 @@
+"""The simplification algorithm and its oracles (Figure 6 of the paper).
+
+The algorithm asks an *oracle* to propose simpler forms e' for an expression
+e, and reports e as unstable when e ≡ e' holds only under the well-defined
+program assumption Δ.  Two oracles are implemented, as in STACK:
+
+* the **boolean oracle** proposes ``true`` and ``false`` for boolean
+  expressions (comparisons),
+* the **algebra oracle** proposes cancelling a common term from both sides of
+  a comparison — e.g. proposing ``x < 0`` for ``p + x < p`` — which is how
+  STACK finds the FFmpeg-style bounds checks of §6.2.2.
+
+Expressions that can be simplified even without Δ are rewritten silently and
+produce no report (Figure 6, line 6).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, List, Optional, Sequence, Tuple
+
+from repro.core.encode import FunctionEncoder
+from repro.core.queries import QueryEngine
+from repro.core.report import Algorithm
+from repro.core.ubconditions import UBCondition
+from repro.ir.instructions import (
+    BinaryOp,
+    BinOpKind,
+    Cast,
+    GetElementPtr,
+    ICmp,
+    ICmpPred,
+    Instruction,
+)
+from repro.ir.values import Constant, Value
+from repro.solver.terms import Term, TermManager
+
+
+@dataclass
+class Proposal:
+    """One candidate replacement e' for an expression e."""
+
+    term: Term                 # boolean term for e'
+    description: str           # human-readable form, e.g. "false" or "x < 0"
+
+
+@dataclass
+class SimplificationFinding:
+    """One comparison identified by the simplification algorithm."""
+
+    instruction: ICmp
+    algorithm: Algorithm
+    proposal: Proposal
+    trivially_simplified: bool = False
+    hypothesis: List[Term] = field(default_factory=list)
+    conditions: List[UBCondition] = field(default_factory=list)
+
+
+class BooleanOracle:
+    """Proposes ``true`` and ``false`` for a boolean expression (§3.2.3)."""
+
+    name = "boolean"
+    algorithm = Algorithm.SIMPLIFY_BOOLEAN
+
+    def propose(self, encoder: FunctionEncoder, inst: ICmp) -> List[Proposal]:
+        manager = encoder.manager
+        return [
+            Proposal(manager.true(), "true"),
+            Proposal(manager.false(), "false"),
+        ]
+
+
+class AlgebraOracle:
+    """Proposes cancelling common terms across a comparison (§3.2.3).
+
+    Recognized shapes (and their mirror images):
+
+    * ``(a + b) cmp a``  →  ``b cmp 0``
+    * ``(a - b) cmp a``  →  ``0 cmp b`` (i.e. ``b`` compared against 0 with
+      the flipped predicate)
+    * ``gep(p, i) cmp p``  →  ``i cmp 0`` (pointer arithmetic, the paper's
+      ``data + x < data`` pattern)
+    """
+
+    name = "algebra"
+    algorithm = Algorithm.SIMPLIFY_ALGEBRA
+
+    _SIGNED_VERSION = {
+        ICmpPred.ULT: ICmpPred.SLT, ICmpPred.ULE: ICmpPred.SLE,
+        ICmpPred.UGT: ICmpPred.SGT, ICmpPred.UGE: ICmpPred.SGE,
+        ICmpPred.SLT: ICmpPred.SLT, ICmpPred.SLE: ICmpPred.SLE,
+        ICmpPred.SGT: ICmpPred.SGT, ICmpPred.SGE: ICmpPred.SGE,
+        ICmpPred.EQ: ICmpPred.EQ, ICmpPred.NE: ICmpPred.NE,
+    }
+    _MIRROR = {
+        ICmpPred.ULT: ICmpPred.UGT, ICmpPred.UGT: ICmpPred.ULT,
+        ICmpPred.ULE: ICmpPred.UGE, ICmpPred.UGE: ICmpPred.ULE,
+        ICmpPred.SLT: ICmpPred.SGT, ICmpPred.SGT: ICmpPred.SLT,
+        ICmpPred.SLE: ICmpPred.SGE, ICmpPred.SGE: ICmpPred.SLE,
+        ICmpPred.EQ: ICmpPred.EQ, ICmpPred.NE: ICmpPred.NE,
+    }
+
+    def propose(self, encoder: FunctionEncoder, inst: ICmp) -> List[Proposal]:
+        proposals: List[Proposal] = []
+        proposals.extend(self._cancel(encoder, inst, inst.lhs, inst.rhs, inst.pred))
+        proposals.extend(self._cancel(encoder, inst, inst.rhs, inst.lhs,
+                                      self._MIRROR[inst.pred]))
+        return proposals
+
+    def _cancel(self, encoder: FunctionEncoder, inst: ICmp,
+                compound: Value, other: Value, pred: ICmpPred) -> List[Proposal]:
+        """Proposals for ``compound pred other`` where compound may contain other."""
+        manager = encoder.manager
+        residue: Optional[Tuple[Value, bool, str]] = None
+
+        if isinstance(compound, GetElementPtr) and compound.pointer is other:
+            residue = (compound.index, True, self._name_of(compound.index))
+        elif isinstance(compound, BinaryOp) and compound.kind is BinOpKind.ADD:
+            if compound.lhs is other:
+                residue = (compound.rhs, True, self._name_of(compound.rhs))
+            elif compound.rhs is other:
+                residue = (compound.lhs, True, self._name_of(compound.lhs))
+        elif isinstance(compound, BinaryOp) and compound.kind is BinOpKind.SUB:
+            if compound.lhs is other:
+                residue = (compound.rhs, False, self._name_of(compound.rhs))
+
+        if residue is None:
+            return []
+        value, positive, name = residue
+        term = encoder.term(value)
+        zero = manager.bv_const(0, term.width)
+        signed_pred = self._SIGNED_VERSION[pred]
+        if not positive:
+            # (a - b) pred a  ≡  -b pred 0  ≡  0 pred' b with mirrored predicate
+            signed_pred = self._MIRROR[signed_pred]
+
+        comparison = self._build(manager, signed_pred, term, zero)
+        symbol = {ICmpPred.SLT: "<", ICmpPred.SLE: "<=", ICmpPred.SGT: ">",
+                  ICmpPred.SGE: ">=", ICmpPred.EQ: "==", ICmpPred.NE: "!="}[signed_pred]
+        return [Proposal(comparison, f"{name} {symbol} 0")]
+
+    @staticmethod
+    def _build(manager: TermManager, pred: ICmpPred, lhs: Term, rhs: Term) -> Term:
+        builders = {
+            ICmpPred.EQ: manager.eq, ICmpPred.NE: manager.distinct,
+            ICmpPred.SLT: manager.bvslt, ICmpPred.SLE: manager.bvsle,
+            ICmpPred.SGT: manager.bvsgt, ICmpPred.SGE: manager.bvsge,
+            ICmpPred.ULT: manager.bvult, ICmpPred.ULE: manager.bvule,
+            ICmpPred.UGT: manager.bvugt, ICmpPred.UGE: manager.bvuge,
+        }
+        return builders[pred](lhs, rhs)
+
+    @staticmethod
+    def _name_of(value: Value) -> str:
+        if isinstance(value, Constant):
+            return str(value.value)
+        if isinstance(value, Cast) and value.value.name:
+            return value.value.name
+        return value.name or "x"
+
+
+DEFAULT_ORACLES = (BooleanOracle(), AlgebraOracle())
+
+
+def run_simplification(
+    encoder: FunctionEncoder,
+    engine: QueryEngine,
+    oracles: Sequence = DEFAULT_ORACLES,
+    skip_instructions: Optional[Iterable[Instruction]] = None,
+) -> List[SimplificationFinding]:
+    """Run Figure 6 over every comparison of the encoder's function."""
+    skip_ids = {id(inst) for inst in (skip_instructions or ())}
+    findings: List[SimplificationFinding] = []
+    reported_ids = set()
+
+    for oracle in oracles:
+        for block in encoder.function.blocks:
+            for inst in block.instructions:
+                if not isinstance(inst, ICmp):
+                    continue
+                if id(inst) in skip_ids or id(inst) in reported_ids:
+                    continue
+                finding = _try_simplify(encoder, engine, oracle, inst)
+                if finding is None:
+                    continue
+                findings.append(finding)
+                if not finding.trivially_simplified:
+                    reported_ids.add(id(inst))
+    return findings
+
+
+def _try_simplify(encoder: FunctionEncoder, engine: QueryEngine,
+                  oracle, inst: ICmp) -> Optional[SimplificationFinding]:
+    manager = encoder.manager
+    expression = encoder.comparison_bool(inst)
+    reach = encoder.instruction_reach(inst)
+
+    for proposal in oracle.propose(encoder, inst):
+        disagreement = manager.xor(expression, proposal.term)
+        if disagreement.is_const() and not disagreement.value:
+            # e is literally e' already; nothing to simplify.
+            continue
+
+        trivially = engine.is_unsat([disagreement, reach])
+        if trivially is True:
+            return SimplificationFinding(
+                inst, oracle.algorithm, proposal, trivially_simplified=True)
+        if trivially is None:
+            continue
+
+        conditions = encoder.dominating_ub_conditions(inst)
+        if not conditions:
+            continue
+        delta = encoder.well_defined_over(conditions)
+        unstable = engine.is_unsat([disagreement, reach, delta])
+        if unstable is True:
+            return SimplificationFinding(
+                inst, oracle.algorithm, proposal,
+                hypothesis=[disagreement, reach], conditions=conditions)
+    return None

@@ -1,0 +1,50 @@
+"""Experiment drivers that regenerate every table and figure of the paper.
+
+Each module produces a result object plus a ``render()``-style text table so
+that the benchmark harness (``benchmarks/``) and the examples can print the
+same rows the paper reports:
+
+* :mod:`repro.experiments.fig4` — the compiler survey matrix (Figure 4),
+* :mod:`repro.experiments.fig9` — new bugs per system / per UB kind (Figure 9
+  and §6.1),
+* :mod:`repro.experiments.fig16` — checker performance (Figure 16),
+* :mod:`repro.experiments.debian_prevalence` — archive-scale prevalence
+  (Figures 17 and 18, §6.5),
+* :mod:`repro.experiments.casestudies` — the §6.2 case studies and the §6.3
+  precision analysis,
+* :mod:`repro.experiments.completeness` — the §6.6 completeness benchmark,
+* :mod:`repro.experiments.common` — shared helpers (memoised snippet
+  analysis, ASCII tables).
+"""
+
+from repro.experiments.common import SnippetAnalyzer, render_table
+from repro.experiments.fig4 import Figure4Result, run_figure4
+from repro.experiments.fig9 import Figure9Result, run_figure9
+from repro.experiments.fig16 import Figure16Result, run_figure16
+from repro.experiments.debian_prevalence import PrevalenceResult, run_prevalence
+from repro.experiments.casestudies import (
+    CaseStudyResult,
+    PrecisionResult,
+    run_case_studies,
+    run_precision,
+)
+from repro.experiments.completeness import CompletenessResult, run_completeness
+
+__all__ = [
+    "CaseStudyResult",
+    "CompletenessResult",
+    "Figure16Result",
+    "Figure4Result",
+    "Figure9Result",
+    "PrecisionResult",
+    "PrevalenceResult",
+    "SnippetAnalyzer",
+    "render_table",
+    "run_case_studies",
+    "run_completeness",
+    "run_figure16",
+    "run_figure4",
+    "run_figure9",
+    "run_precision",
+    "run_prevalence",
+]

@@ -1,0 +1,67 @@
+"""§6.6: what unstable code does the checker miss?"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+from repro.api import check_source
+from repro.core.checker import CheckerConfig
+from repro.corpus.benchmark_suite import (
+    COMPLETENESS_TESTS,
+    CompletenessTest,
+    expected_detection_count,
+)
+from repro.experiments.common import render_table
+
+
+@dataclass
+class CompletenessOutcome:
+    test: CompletenessTest
+    detected: bool
+
+    @property
+    def as_expected(self) -> bool:
+        return self.detected == self.test.expected_detected
+
+
+@dataclass
+class CompletenessResult:
+    outcomes: List[CompletenessOutcome] = field(default_factory=list)
+
+    @property
+    def detected_count(self) -> int:
+        return sum(1 for outcome in self.outcomes if outcome.detected)
+
+    @property
+    def expected_count(self) -> int:
+        return expected_detection_count()
+
+    @property
+    def matches_paper(self) -> bool:
+        return all(outcome.as_expected for outcome in self.outcomes)
+
+    def render(self) -> str:
+        headers = ["test", "detected", "expected", "reason"]
+        rows = []
+        for outcome in self.outcomes:
+            rows.append([
+                outcome.test.name,
+                "yes" if outcome.detected else "no",
+                "yes" if outcome.test.expected_detected else "no",
+                outcome.test.reason,
+            ])
+        summary = (f"identified {self.detected_count} of {len(self.outcomes)} tests "
+                   f"(paper: {self.expected_count} of 10)")
+        return render_table(headers, rows,
+                            title="Section 6.6: completeness benchmark") + "\n\n" + summary
+
+
+def run_completeness(config: Optional[CheckerConfig] = None) -> CompletenessResult:
+    """Run the checker over the ten-test benchmark."""
+    result = CompletenessResult()
+    for test in COMPLETENESS_TESTS:
+        report = check_source(test.source, filename=f"{test.name}.c", config=config)
+        result.outcomes.append(CompletenessOutcome(test=test,
+                                                   detected=bool(report.bugs)))
+    return result

@@ -1,0 +1,39 @@
+"""MiniC frontend: lexer, preprocessor, parser, type system, and sema.
+
+The paper's first stage uses clang to translate C into LLVM IR (§4.2).  This
+package is the reproduction's equivalent: it accepts a C-like language
+("MiniC") that covers the constructs the paper's examples and corpora use —
+sized integer types, pointers, arrays, structs, the full expression grammar,
+control flow, function-like macros — and produces a typed AST that
+:mod:`repro.lower` turns into IR.
+
+Pipeline::
+
+    source text
+      → Preprocessor (macro expansion, origin tracking)
+      → Lexer (tokens)
+      → Parser (AST)
+      → SemanticAnalyzer (types, implicit conversions, symbol resolution)
+      → repro.lower.lower_translation_unit (IR)
+"""
+
+from repro.frontend.errors import FrontendError, ParseError, SemaError
+from repro.frontend.lexer import Lexer, Token, TokenKind
+from repro.frontend.parser import Parser, parse
+from repro.frontend.preprocessor import Preprocessor
+from repro.frontend.sema import SemanticAnalyzer, analyze
+from repro.frontend.ctypes import (
+    CArray,
+    CFunction,
+    CInt,
+    CPointer,
+    CStruct,
+    CType,
+    CVoid,
+)
+
+__all__ = [
+    "CArray", "CFunction", "CInt", "CPointer", "CStruct", "CType", "CVoid",
+    "FrontendError", "Lexer", "ParseError", "Parser", "Preprocessor",
+    "SemaError", "SemanticAnalyzer", "Token", "TokenKind", "analyze", "parse",
+]

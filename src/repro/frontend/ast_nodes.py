@@ -1,0 +1,267 @@
+"""AST node definitions for MiniC.
+
+Nodes are plain dataclasses.  After semantic analysis every expression node
+has its ``ctype`` field filled in, and implicit conversions are made explicit
+by inserted :class:`CastExpr` nodes, so lowering never needs to re-derive C
+conversion rules.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Tuple
+
+from repro.frontend.ctypes import CType
+from repro.ir.source import Origin, SourceLocation, USER_ORIGIN
+
+
+@dataclass
+class Node:
+    """Base class for all AST nodes."""
+
+    location: SourceLocation = field(default_factory=SourceLocation, kw_only=True)
+    origin: Origin = field(default=USER_ORIGIN, kw_only=True)
+
+
+# -- expressions -------------------------------------------------------------------
+
+
+@dataclass
+class Expr(Node):
+    """Base class for expressions; ``ctype`` is set by sema."""
+
+    ctype: Optional[CType] = field(default=None, kw_only=True)
+
+
+@dataclass
+class IntLiteral(Expr):
+    value: int = 0
+    suffix: str = ""
+
+
+@dataclass
+class CharLiteral(Expr):
+    value: int = 0
+
+
+@dataclass
+class StringLiteral(Expr):
+    value: str = ""
+
+
+@dataclass
+class Identifier(Expr):
+    name: str = ""
+
+
+@dataclass
+class UnaryExpr(Expr):
+    """Unary operators: - ~ ! * & ++ -- (prefix and postfix)."""
+
+    op: str = ""
+    operand: Expr = None
+    postfix: bool = False
+
+
+@dataclass
+class BinaryExpr(Expr):
+    """Binary operators, including && and || (short-circuiting)."""
+
+    op: str = ""
+    lhs: Expr = None
+    rhs: Expr = None
+
+
+@dataclass
+class AssignExpr(Expr):
+    """Assignment, possibly compound (op is '' for plain '=')."""
+
+    op: str = ""
+    target: Expr = None
+    value: Expr = None
+
+
+@dataclass
+class ConditionalExpr(Expr):
+    """The ternary ?: operator."""
+
+    condition: Expr = None
+    on_true: Expr = None
+    on_false: Expr = None
+
+
+@dataclass
+class CallExpr(Expr):
+    callee: str = ""
+    args: List[Expr] = field(default_factory=list)
+
+
+@dataclass
+class IndexExpr(Expr):
+    """Array subscription a[i]."""
+
+    base: Expr = None
+    index: Expr = None
+
+
+@dataclass
+class MemberExpr(Expr):
+    """Member access: ``base.member`` or ``base->member`` (arrow=True)."""
+
+    base: Expr = None
+    member: str = ""
+    arrow: bool = False
+    field_offset: int = 0       # filled by sema
+
+
+@dataclass
+class CastExpr(Expr):
+    """Explicit or sema-inserted implicit cast."""
+
+    target_type: CType = None
+    operand: Expr = None
+    implicit: bool = False
+
+
+@dataclass
+class SizeofExpr(Expr):
+    queried_type: Optional[CType] = None
+    operand: Optional[Expr] = None
+
+
+# -- statements ----------------------------------------------------------------------
+
+
+@dataclass
+class Stmt(Node):
+    """Base class for statements."""
+
+
+@dataclass
+class ExprStmt(Stmt):
+    expr: Optional[Expr] = None
+
+
+@dataclass
+class DeclStmt(Stmt):
+    """A local variable declaration (one declarator)."""
+
+    name: str = ""
+    decl_type: CType = None
+    initializer: Optional[Expr] = None
+
+
+@dataclass
+class CompoundStmt(Stmt):
+    statements: List[Stmt] = field(default_factory=list)
+
+
+@dataclass
+class IfStmt(Stmt):
+    condition: Expr = None
+    then_branch: Stmt = None
+    else_branch: Optional[Stmt] = None
+
+
+@dataclass
+class WhileStmt(Stmt):
+    condition: Expr = None
+    body: Stmt = None
+
+
+@dataclass
+class DoWhileStmt(Stmt):
+    condition: Expr = None
+    body: Stmt = None
+
+
+@dataclass
+class ForStmt(Stmt):
+    init: Optional[Stmt] = None
+    condition: Optional[Expr] = None
+    step: Optional[Expr] = None
+    body: Stmt = None
+
+
+@dataclass
+class ReturnStmt(Stmt):
+    value: Optional[Expr] = None
+
+
+@dataclass
+class BreakStmt(Stmt):
+    pass
+
+
+@dataclass
+class ContinueStmt(Stmt):
+    pass
+
+
+@dataclass
+class GotoStmt(Stmt):
+    label: str = ""
+
+
+@dataclass
+class LabelStmt(Stmt):
+    label: str = ""
+    statement: Optional[Stmt] = None
+
+
+# -- declarations ---------------------------------------------------------------------
+
+
+@dataclass
+class ParamDecl(Node):
+    name: str = ""
+    decl_type: CType = None
+
+
+@dataclass
+class FunctionDecl(Node):
+    """A function definition (body is None for prototypes)."""
+
+    name: str = ""
+    return_type: CType = None
+    params: List[ParamDecl] = field(default_factory=list)
+    body: Optional[CompoundStmt] = None
+    is_static: bool = False
+    is_inline: bool = False
+
+
+@dataclass
+class StructDecl(Node):
+    name: str = ""
+    members: List[Tuple[str, CType]] = field(default_factory=list)
+
+
+@dataclass
+class GlobalVarDecl(Node):
+    name: str = ""
+    decl_type: CType = None
+    initializer: Optional[Expr] = None
+
+
+@dataclass
+class TypedefDecl(Node):
+    name: str = ""
+    aliased: CType = None
+
+
+@dataclass
+class TranslationUnit(Node):
+    """A whole source file after parsing."""
+
+    declarations: List[Node] = field(default_factory=list)
+    filename: str = "<input>"
+
+    def functions(self) -> List[FunctionDecl]:
+        return [d for d in self.declarations
+                if isinstance(d, FunctionDecl) and d.body is not None]
+
+    def function(self, name: str) -> Optional[FunctionDecl]:
+        for decl in self.declarations:
+            if isinstance(decl, FunctionDecl) and decl.name == name and decl.body:
+                return decl
+        return None

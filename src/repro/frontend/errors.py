@@ -1,0 +1,33 @@
+"""Frontend error types and diagnostic formatting."""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.ir.source import SourceLocation
+
+
+class FrontendError(Exception):
+    """Base class for all frontend errors."""
+
+    def __init__(self, message: str, location: Optional[SourceLocation] = None) -> None:
+        self.message = message
+        self.location = location if location is not None else SourceLocation()
+        super().__init__(self.format())
+
+    def format(self) -> str:
+        if self.location.is_known():
+            return f"{self.location}: {self.message}"
+        return self.message
+
+
+class LexError(FrontendError):
+    """Raised for malformed tokens (bad characters, unterminated literals)."""
+
+
+class ParseError(FrontendError):
+    """Raised when the token stream does not match the grammar."""
+
+
+class SemaError(FrontendError):
+    """Raised for type errors and unresolved symbols."""

@@ -1,0 +1,229 @@
+"""Tokenizer for MiniC.
+
+Produces a stream of :class:`Token` objects with source locations and origin
+metadata (the preprocessor re-tags tokens that come from macro expansion).
+"""
+
+from __future__ import annotations
+
+import enum
+import string
+from dataclasses import dataclass, field, replace
+from typing import List, Optional
+
+from repro.frontend.errors import LexError
+from repro.ir.source import Origin, SourceLocation, USER_ORIGIN
+
+
+class TokenKind(enum.Enum):
+    """Lexical token categories."""
+
+    IDENT = "identifier"
+    KEYWORD = "keyword"
+    INT_LITERAL = "integer"
+    CHAR_LITERAL = "char"
+    STRING_LITERAL = "string"
+    PUNCT = "punctuator"
+    EOF = "eof"
+
+
+KEYWORDS = {
+    "void", "char", "short", "int", "long", "signed", "unsigned",
+    "if", "else", "while", "for", "do", "return", "break", "continue",
+    "struct", "union", "enum", "sizeof", "typedef", "static", "extern",
+    "const", "volatile", "goto", "switch", "case", "default", "inline",
+    "_Bool",
+}
+
+# Multi-character punctuators, longest first so maximal munch works.
+PUNCTUATORS = [
+    "<<=", ">>=", "...",
+    "->", "++", "--", "<<", ">>", "<=", ">=", "==", "!=", "&&", "||",
+    "+=", "-=", "*=", "/=", "%=", "&=", "|=", "^=",
+    "+", "-", "*", "/", "%", "<", ">", "=", "!", "&", "|", "^", "~",
+    "(", ")", "{", "}", "[", "]", ";", ",", ".", "?", ":", "#",
+]
+
+
+@dataclass(frozen=True)
+class Token:
+    """A single lexical token."""
+
+    kind: TokenKind
+    text: str
+    location: SourceLocation = field(default_factory=SourceLocation)
+    origin: Origin = USER_ORIGIN
+    value: int = 0                    # numeric value for INT/CHAR literals
+    suffix: str = ""                  # integer literal suffix (u, l, ul, ll, ...)
+
+    def is_keyword(self, *names: str) -> bool:
+        return self.kind is TokenKind.KEYWORD and self.text in names
+
+    def is_punct(self, *names: str) -> bool:
+        return self.kind is TokenKind.PUNCT and self.text in names
+
+    def is_ident(self, name: Optional[str] = None) -> bool:
+        if self.kind is not TokenKind.IDENT:
+            return False
+        return name is None or self.text == name
+
+    def with_origin(self, origin: Origin) -> "Token":
+        return replace(self, origin=origin)
+
+    def __repr__(self) -> str:
+        return f"Token({self.kind.name}, {self.text!r})"
+
+
+_IDENT_START = set(string.ascii_letters + "_")
+_IDENT_CONT = set(string.ascii_letters + string.digits + "_")
+_ESCAPES = {"n": 10, "t": 9, "r": 13, "0": 0, "\\": 92, "'": 39, '"': 34}
+
+
+class Lexer:
+    """Converts MiniC source text into tokens."""
+
+    def __init__(self, source: str, filename: str = "<input>") -> None:
+        self.source = source
+        self.filename = filename
+        self.pos = 0
+        self.line = 1
+        self.column = 1
+
+    # -- helpers ---------------------------------------------------------------
+
+    def _loc(self) -> SourceLocation:
+        return SourceLocation(self.filename, self.line, self.column)
+
+    def _peek(self, offset: int = 0) -> str:
+        index = self.pos + offset
+        return self.source[index] if index < len(self.source) else ""
+
+    def _advance(self, count: int = 1) -> str:
+        text = self.source[self.pos:self.pos + count]
+        for ch in text:
+            if ch == "\n":
+                self.line += 1
+                self.column = 1
+            else:
+                self.column += 1
+        self.pos += count
+        return text
+
+    # -- skipping ---------------------------------------------------------------
+
+    def _skip_whitespace_and_comments(self) -> None:
+        while self.pos < len(self.source):
+            ch = self._peek()
+            if ch in " \t\r\n":
+                self._advance()
+            elif ch == "/" and self._peek(1) == "/":
+                while self.pos < len(self.source) and self._peek() != "\n":
+                    self._advance()
+            elif ch == "/" and self._peek(1) == "*":
+                self._advance(2)
+                while self.pos < len(self.source):
+                    if self._peek() == "*" and self._peek(1) == "/":
+                        self._advance(2)
+                        break
+                    self._advance()
+                else:
+                    raise LexError("unterminated block comment", self._loc())
+            else:
+                return
+
+    # -- scanning ----------------------------------------------------------------
+
+    def tokens(self) -> List[Token]:
+        """Tokenize the whole input, ending with an EOF token."""
+        out: List[Token] = []
+        while True:
+            token = self.next_token()
+            out.append(token)
+            if token.kind is TokenKind.EOF:
+                return out
+
+    def next_token(self) -> Token:
+        self._skip_whitespace_and_comments()
+        loc = self._loc()
+        if self.pos >= len(self.source):
+            return Token(TokenKind.EOF, "", loc)
+
+        ch = self._peek()
+        if ch in _IDENT_START:
+            return self._lex_identifier(loc)
+        if ch.isdigit():
+            return self._lex_number(loc)
+        if ch == "'":
+            return self._lex_char(loc)
+        if ch == '"':
+            return self._lex_string(loc)
+        for punct in PUNCTUATORS:
+            if self.source.startswith(punct, self.pos):
+                self._advance(len(punct))
+                return Token(TokenKind.PUNCT, punct, loc)
+        raise LexError(f"unexpected character {ch!r}", loc)
+
+    def _lex_identifier(self, loc: SourceLocation) -> Token:
+        start = self.pos
+        while self._peek() in _IDENT_CONT:
+            self._advance()
+        text = self.source[start:self.pos]
+        kind = TokenKind.KEYWORD if text in KEYWORDS else TokenKind.IDENT
+        return Token(kind, text, loc)
+
+    def _lex_number(self, loc: SourceLocation) -> Token:
+        start = self.pos
+        if self._peek() == "0" and self._peek(1) in ("x", "X"):
+            self._advance(2)
+            while self._peek() and self._peek() in string.hexdigits:
+                self._advance()
+            digits = self.source[start:self.pos]
+            value = int(digits, 16)
+        else:
+            while self._peek().isdigit():
+                self._advance()
+            digits = self.source[start:self.pos]
+            value = int(digits, 10)
+        suffix_start = self.pos
+        while self._peek() and self._peek() in "uUlL":
+            self._advance()
+        suffix = self.source[suffix_start:self.pos].lower()
+        return Token(TokenKind.INT_LITERAL, self.source[start:self.pos], loc,
+                     value=value, suffix=suffix)
+
+    def _lex_char(self, loc: SourceLocation) -> Token:
+        self._advance()  # opening quote
+        ch = self._peek()
+        if ch == "\\":
+            self._advance()
+            esc = self._advance()
+            if esc not in _ESCAPES:
+                raise LexError(f"unknown escape sequence \\{esc}", loc)
+            value = _ESCAPES[esc]
+        else:
+            value = ord(self._advance())
+        if self._peek() != "'":
+            raise LexError("unterminated character literal", loc)
+        self._advance()
+        return Token(TokenKind.CHAR_LITERAL, f"'{chr(value)}'", loc, value=value)
+
+    def _lex_string(self, loc: SourceLocation) -> Token:
+        self._advance()  # opening quote
+        chars: List[str] = []
+        while True:
+            if self.pos >= len(self.source):
+                raise LexError("unterminated string literal", loc)
+            ch = self._advance()
+            if ch == '"':
+                break
+            if ch == "\\":
+                esc = self._advance()
+                chars.append(chr(_ESCAPES.get(esc, ord(esc))))
+            else:
+                chars.append(ch)
+        return Token(TokenKind.STRING_LITERAL, "".join(chars), loc)
+
+
+def tokenize(source: str, filename: str = "<input>") -> List[Token]:
+    """Convenience wrapper: tokenize ``source`` including the EOF token."""
+    return Lexer(source, filename).tokens()

@@ -1,0 +1,173 @@
+"""A small preprocessor: #define macros with origin tracking.
+
+STACK must ignore unstable code that the programmer did not write directly —
+code produced by macro expansion is the main source of false warnings the
+paper calls out (§4.2).  The preprocessor therefore tags every token produced
+by expanding a macro with a MACRO origin naming the macro; the lowering pass
+propagates the tag onto instructions, and the report stage filters on it.
+
+Supported directives:
+
+* ``#define NAME replacement`` — object-like macros,
+* ``#define NAME(a, b) replacement`` — function-like macros,
+* ``#undef NAME``,
+* ``#include ...`` and conditional directives are ignored (the corpora are
+  self-contained translation units).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.frontend.errors import LexError
+from repro.frontend.lexer import Lexer, Token, TokenKind
+from repro.ir.source import macro_origin
+
+
+@dataclass
+class MacroDefinition:
+    """A single #define."""
+
+    name: str
+    params: Optional[List[str]]       # None for object-like macros
+    body: List[Token]
+
+    @property
+    def is_function_like(self) -> bool:
+        return self.params is not None
+
+
+class Preprocessor:
+    """Expands macros in a token stream before parsing."""
+
+    MAX_EXPANSION_DEPTH = 32
+
+    def __init__(self) -> None:
+        self.macros: Dict[str, MacroDefinition] = {}
+
+    # -- public API --------------------------------------------------------------
+
+    def preprocess(self, source: str, filename: str = "<input>") -> List[Token]:
+        """Tokenize ``source``, process directives, and expand macros."""
+        lines = source.split("\n")
+        kept_lines: List[str] = []
+        for line_number, line in enumerate(lines, start=1):
+            stripped = line.lstrip()
+            if stripped.startswith("#"):
+                self._handle_directive(stripped, filename, line_number)
+                kept_lines.append("")  # keep line numbers aligned
+            else:
+                kept_lines.append(line)
+        tokens = Lexer("\n".join(kept_lines), filename).tokens()
+        return self._expand(tokens, depth=0, banned=frozenset())
+
+    def define(self, name: str, replacement: str,
+               params: Optional[Sequence[str]] = None) -> None:
+        """Programmatically define a macro (used by tests and the corpus)."""
+        body = Lexer(replacement, f"<macro {name}>").tokens()[:-1]
+        self.macros[name] = MacroDefinition(
+            name, list(params) if params is not None else None, body)
+
+    # -- directives ----------------------------------------------------------------
+
+    def _handle_directive(self, line: str, filename: str, line_number: int) -> None:
+        text = line[1:].strip()
+        if text.startswith("define"):
+            self._handle_define(text[len("define"):].strip(), filename, line_number)
+        elif text.startswith("undef"):
+            name = text[len("undef"):].strip()
+            self.macros.pop(name, None)
+        # #include, #if, #ifdef, #endif, #pragma ... are ignored.
+
+    def _handle_define(self, text: str, filename: str, line_number: int) -> None:
+        tokens = Lexer(text, filename).tokens()[:-1]
+        if not tokens or tokens[0].kind is not TokenKind.IDENT:
+            raise LexError(f"malformed #define at {filename}:{line_number}")
+        name = tokens[0].text
+        rest = tokens[1:]
+        params: Optional[List[str]] = None
+        # Function-like only when '(' immediately follows the name in the text.
+        name_end = text.index(name) + len(name)
+        if rest and rest[0].is_punct("(") and text[name_end:name_end + 1] == "(":
+            params = []
+            index = 1
+            while index < len(rest) and not rest[index].is_punct(")"):
+                if rest[index].kind is TokenKind.IDENT:
+                    params.append(rest[index].text)
+                index += 1
+            body = rest[index + 1:]
+        else:
+            body = rest
+        self.macros[name] = MacroDefinition(name, params, body)
+
+    # -- expansion ----------------------------------------------------------------
+
+    def _expand(self, tokens: List[Token], depth: int,
+                banned: frozenset) -> List[Token]:
+        if depth > self.MAX_EXPANSION_DEPTH:
+            raise LexError("macro expansion too deep (recursive macro?)")
+        out: List[Token] = []
+        index = 0
+        while index < len(tokens):
+            token = tokens[index]
+            macro = self.macros.get(token.text) if token.kind is TokenKind.IDENT else None
+            if macro is None or macro.name in banned:
+                out.append(token)
+                index += 1
+                continue
+            if macro.is_function_like:
+                args, consumed = self._collect_arguments(tokens, index + 1)
+                if args is None:
+                    out.append(token)
+                    index += 1
+                    continue
+                expansion = self._substitute(macro, args)
+                index += 1 + consumed
+            else:
+                expansion = list(macro.body)
+                index += 1
+            tagged = [t.with_origin(macro_origin(macro.name)) for t in expansion]
+            out.extend(self._expand(tagged, depth + 1, banned | {macro.name}))
+        return out
+
+    def _collect_arguments(
+        self, tokens: List[Token], start: int,
+    ) -> Tuple[Optional[List[List[Token]]], int]:
+        """Collect macro call arguments; returns (args, tokens consumed)."""
+        if start >= len(tokens) or not tokens[start].is_punct("("):
+            return None, 0
+        args: List[List[Token]] = [[]]
+        depth = 0
+        index = start
+        while index < len(tokens):
+            token = tokens[index]
+            if token.is_punct("("):
+                depth += 1
+                if depth > 1:
+                    args[-1].append(token)
+            elif token.is_punct(")"):
+                depth -= 1
+                if depth == 0:
+                    return args, index - start + 1
+                args[-1].append(token)
+            elif token.is_punct(",") and depth == 1:
+                args.append([])
+            else:
+                args[-1].append(token)
+            index += 1
+        raise LexError("unterminated macro argument list")
+
+    def _substitute(self, macro: MacroDefinition,
+                    args: List[List[Token]]) -> List[Token]:
+        mapping: Dict[str, List[Token]] = {}
+        params = macro.params or []
+        for i, param in enumerate(params):
+            mapping[param] = args[i] if i < len(args) else []
+        out: List[Token] = []
+        for token in macro.body:
+            if token.kind is TokenKind.IDENT and token.text in mapping:
+                out.extend(mapping[token.text])
+            else:
+                out.append(token)
+        return out

@@ -1,0 +1,70 @@
+"""An LLVM-flavoured intermediate representation.
+
+STACK operates on the LLVM IR produced by clang (§4.2 of the paper).  This
+package provides the equivalent substrate for the reproduction: a typed,
+CFG-based IR with SSA values, phi nodes, and per-instruction source-origin
+metadata (so the checker can ignore compiler-generated code such as expanded
+macros and inlined callees).
+
+Modules
+-------
+* :mod:`repro.ir.types` — the IR type system (sized integers, pointers,
+  arrays, functions).
+* :mod:`repro.ir.source` — source locations and code-origin metadata.
+* :mod:`repro.ir.values` — values, constants, arguments.
+* :mod:`repro.ir.instructions` — instruction classes.
+* :mod:`repro.ir.function` — basic blocks, functions, modules.
+* :mod:`repro.ir.builder` — convenience builder for constructing IR.
+* :mod:`repro.ir.cfg` — control-flow graph utilities.
+* :mod:`repro.ir.dominators` — dominator tree computation.
+* :mod:`repro.ir.printer` — textual IR output.
+* :mod:`repro.ir.verifier` — structural well-formedness checks.
+"""
+
+from repro.ir.builder import IRBuilder
+from repro.ir.function import BasicBlock, Function, Module
+from repro.ir.source import Origin, OriginKind, SourceLocation
+from repro.ir.types import (
+    ArrayType,
+    FunctionType,
+    IntType,
+    IRType,
+    PointerType,
+    VoidType,
+    BOOL_TYPE,
+    INT8,
+    INT16,
+    INT32,
+    INT64,
+)
+from repro.ir.values import Argument, Constant, UndefValue, Value
+from repro.ir.instructions import (
+    Alloca,
+    BinaryOp,
+    BinOpKind,
+    Branch,
+    Call,
+    Cast,
+    CastKind,
+    CondBranch,
+    GetElementPtr,
+    ICmp,
+    ICmpPred,
+    Instruction,
+    Load,
+    Phi,
+    Return,
+    Select,
+    Store,
+    Unreachable,
+)
+
+__all__ = [
+    "Alloca", "Argument", "ArrayType", "BasicBlock", "BinOpKind", "BinaryOp",
+    "BOOL_TYPE", "Branch", "Call", "Cast", "CastKind", "CondBranch", "Constant",
+    "Function", "FunctionType", "GetElementPtr", "ICmp", "ICmpPred", "INT16",
+    "INT32", "INT64", "INT8", "IRBuilder", "IRType", "Instruction", "IntType",
+    "Load", "Module", "Origin", "OriginKind", "Phi", "PointerType", "Return",
+    "Select", "SourceLocation", "Store", "UndefValue", "Unreachable", "Value",
+    "VoidType",
+]

@@ -1,0 +1,341 @@
+"""IR instruction classes.
+
+The instruction set is the small slice of LLVM IR the checker needs:
+integer/pointer arithmetic, comparisons, memory access, address computation
+(GEP), calls, casts, select, phi nodes, and the terminators.  Every
+instruction carries a :class:`~repro.ir.source.SourceLocation` and an
+:class:`~repro.ir.source.Origin` so that diagnostics can be filtered and
+attributed (§4.2, §4.5 of the paper).
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import List, Optional, Sequence, Tuple
+
+from repro.ir.source import Origin, SourceLocation, USER_ORIGIN
+from repro.ir.types import IRType, IntType, PointerType, VoidType, type_size_bytes
+from repro.ir.values import Value
+
+
+class Instruction(Value):
+    """Base class of all instructions."""
+
+    def __init__(
+        self,
+        ty: IRType,
+        name: str = "",
+        operands: Sequence[Value] = (),
+        location: Optional[SourceLocation] = None,
+        origin: Origin = USER_ORIGIN,
+    ) -> None:
+        super().__init__(ty, name)
+        self.operands: List[Value] = list(operands)
+        self.location = location if location is not None else SourceLocation()
+        self.origin = origin
+        self.parent = None  # type: Optional["repro.ir.function.BasicBlock"]
+
+    def is_terminator(self) -> bool:
+        return isinstance(self, (Branch, CondBranch, Return, Unreachable))
+
+    def opcode(self) -> str:
+        return type(self).__name__.lower()
+
+    def replace_operand(self, old: Value, new: Value) -> None:
+        self.operands = [new if op is old else op for op in self.operands]
+
+    def __repr__(self) -> str:
+        ops = ", ".join(op.short_name() for op in self.operands)
+        return f"<{type(self).__name__} {self.short_name()} [{ops}]>"
+
+
+# -- arithmetic ------------------------------------------------------------------
+
+
+class BinOpKind(enum.Enum):
+    """Binary arithmetic / bitwise operators."""
+
+    ADD = "add"
+    SUB = "sub"
+    MUL = "mul"
+    SDIV = "sdiv"
+    UDIV = "udiv"
+    SREM = "srem"
+    UREM = "urem"
+    SHL = "shl"
+    LSHR = "lshr"
+    ASHR = "ashr"
+    AND = "and"
+    OR = "or"
+    XOR = "xor"
+
+
+class BinaryOp(Instruction):
+    """``result = op lhs, rhs`` over same-width integers."""
+
+    def __init__(self, kind: BinOpKind, lhs: Value, rhs: Value, name: str = "",
+                 **meta) -> None:
+        if lhs.type.bit_width != rhs.type.bit_width:
+            raise TypeError(
+                f"binary op {kind.value} operand widths differ: "
+                f"{lhs.type!r} vs {rhs.type!r}")
+        super().__init__(lhs.type, name, (lhs, rhs), **meta)
+        self.kind = kind
+
+    @property
+    def lhs(self) -> Value:
+        return self.operands[0]
+
+    @property
+    def rhs(self) -> Value:
+        return self.operands[1]
+
+    def opcode(self) -> str:
+        return self.kind.value
+
+
+class ICmpPred(enum.Enum):
+    """Integer/pointer comparison predicates."""
+
+    EQ = "eq"
+    NE = "ne"
+    ULT = "ult"
+    ULE = "ule"
+    UGT = "ugt"
+    UGE = "uge"
+    SLT = "slt"
+    SLE = "sle"
+    SGT = "sgt"
+    SGE = "sge"
+
+
+class ICmp(Instruction):
+    """``result = icmp pred lhs, rhs`` — produces an i1."""
+
+    def __init__(self, pred: ICmpPred, lhs: Value, rhs: Value, name: str = "",
+                 **meta) -> None:
+        if lhs.type.bit_width != rhs.type.bit_width:
+            raise TypeError(
+                f"icmp {pred.value} operand widths differ: "
+                f"{lhs.type!r} vs {rhs.type!r}")
+        super().__init__(IntType(1, signed=False), name, (lhs, rhs), **meta)
+        self.pred = pred
+
+    @property
+    def lhs(self) -> Value:
+        return self.operands[0]
+
+    @property
+    def rhs(self) -> Value:
+        return self.operands[1]
+
+    def opcode(self) -> str:
+        return f"icmp {self.pred.value}"
+
+
+class Select(Instruction):
+    """``result = select cond, a, b``."""
+
+    def __init__(self, cond: Value, on_true: Value, on_false: Value,
+                 name: str = "", **meta) -> None:
+        super().__init__(on_true.type, name, (cond, on_true, on_false), **meta)
+
+    @property
+    def condition(self) -> Value:
+        return self.operands[0]
+
+    @property
+    def on_true(self) -> Value:
+        return self.operands[1]
+
+    @property
+    def on_false(self) -> Value:
+        return self.operands[2]
+
+
+# -- casts -------------------------------------------------------------------------
+
+
+class CastKind(enum.Enum):
+    TRUNC = "trunc"
+    ZEXT = "zext"
+    SEXT = "sext"
+    PTRTOINT = "ptrtoint"
+    INTTOPTR = "inttoptr"
+    BITCAST = "bitcast"
+
+
+class Cast(Instruction):
+    """Width / representation change of a single operand."""
+
+    def __init__(self, kind: CastKind, value: Value, target: IRType,
+                 name: str = "", **meta) -> None:
+        super().__init__(target, name, (value,), **meta)
+        self.kind = kind
+
+    @property
+    def value(self) -> Value:
+        return self.operands[0]
+
+    def opcode(self) -> str:
+        return self.kind.value
+
+
+# -- memory ------------------------------------------------------------------------
+
+
+class Alloca(Instruction):
+    """Stack allocation; the result is a pointer to the allocated type."""
+
+    def __init__(self, allocated: IRType, name: str = "", **meta) -> None:
+        super().__init__(PointerType(allocated), name, (), **meta)
+        self.allocated_type = allocated
+
+
+class Load(Instruction):
+    """``result = load ptr``."""
+
+    def __init__(self, ptr: Value, name: str = "", **meta) -> None:
+        if not ptr.type.is_pointer():
+            raise TypeError(f"load expects a pointer operand, got {ptr.type!r}")
+        super().__init__(ptr.type.pointee, name, (ptr,), **meta)
+
+    @property
+    def pointer(self) -> Value:
+        return self.operands[0]
+
+
+class Store(Instruction):
+    """``store value, ptr``."""
+
+    def __init__(self, value: Value, ptr: Value, **meta) -> None:
+        if not ptr.type.is_pointer():
+            raise TypeError(f"store expects a pointer operand, got {ptr.type!r}")
+        super().__init__(VoidType(), "", (value, ptr), **meta)
+
+    @property
+    def value(self) -> Value:
+        return self.operands[0]
+
+    @property
+    def pointer(self) -> Value:
+        return self.operands[1]
+
+
+class GetElementPtr(Instruction):
+    """Pointer arithmetic: ``result = gep ptr, index`` (byte-scaled by element size)."""
+
+    def __init__(self, ptr: Value, index: Value, name: str = "",
+                 element_type: Optional[IRType] = None,
+                 array_size: Optional[int] = None, **meta) -> None:
+        if not ptr.type.is_pointer():
+            raise TypeError(f"gep expects a pointer operand, got {ptr.type!r}")
+        super().__init__(ptr.type, name, (ptr, index), **meta)
+        self.element_type = element_type if element_type is not None else ptr.type.pointee
+        # When the base pointer is a declared array, the capacity is recorded
+        # so the buffer-overflow UB condition (Figure 3) can be emitted.
+        self.array_size = array_size
+
+    @property
+    def pointer(self) -> Value:
+        return self.operands[0]
+
+    @property
+    def index(self) -> Value:
+        return self.operands[1]
+
+    @property
+    def element_size(self) -> int:
+        return type_size_bytes(self.element_type)
+
+
+# -- calls --------------------------------------------------------------------------
+
+
+class Call(Instruction):
+    """``result = call callee(args...)``.
+
+    The callee is referenced by name; the checker understands the semantics
+    of a handful of library functions (abs, memcpy, free, realloc, strchr, ...)
+    and treats everything else as returning an unconstrained value.
+    """
+
+    def __init__(self, callee: str, args: Sequence[Value], return_type: IRType,
+                 name: str = "", **meta) -> None:
+        super().__init__(return_type, name, tuple(args), **meta)
+        self.callee = callee
+
+    @property
+    def args(self) -> List[Value]:
+        return list(self.operands)
+
+    def opcode(self) -> str:
+        return f"call @{self.callee}"
+
+
+# -- phi ---------------------------------------------------------------------------
+
+
+class Phi(Instruction):
+    """SSA phi node: selects a value based on the predecessor block taken."""
+
+    def __init__(self, ty: IRType, name: str = "", **meta) -> None:
+        super().__init__(ty, name, (), **meta)
+        self.incoming: List[Tuple[Value, "repro.ir.function.BasicBlock"]] = []
+
+    def add_incoming(self, value: Value, block) -> None:
+        self.incoming.append((value, block))
+        self.operands.append(value)
+
+    def incoming_for(self, block) -> Optional[Value]:
+        for value, pred in self.incoming:
+            if pred is block:
+                return value
+        return None
+
+    def replace_operand(self, old: Value, new: Value) -> None:
+        super().replace_operand(old, new)
+        self.incoming = [(new if v is old else v, b) for v, b in self.incoming]
+
+
+# -- terminators ---------------------------------------------------------------------
+
+
+class Branch(Instruction):
+    """Unconditional branch."""
+
+    def __init__(self, target, **meta) -> None:
+        super().__init__(VoidType(), "", (), **meta)
+        self.target = target
+
+
+class CondBranch(Instruction):
+    """Conditional branch on an i1 value."""
+
+    def __init__(self, cond: Value, if_true, if_false, **meta) -> None:
+        super().__init__(VoidType(), "", (cond,), **meta)
+        self.if_true = if_true
+        self.if_false = if_false
+
+    @property
+    def condition(self) -> Value:
+        return self.operands[0]
+
+
+class Return(Instruction):
+    """Function return, with an optional value."""
+
+    def __init__(self, value: Optional[Value] = None, **meta) -> None:
+        operands = (value,) if value is not None else ()
+        super().__init__(VoidType(), "", operands, **meta)
+
+    @property
+    def value(self) -> Optional[Value]:
+        return self.operands[0] if self.operands else None
+
+
+class Unreachable(Instruction):
+    """Marks a point the frontend believes can never execute."""
+
+    def __init__(self, **meta) -> None:
+        super().__init__(VoidType(), "", (), **meta)

@@ -1,0 +1,115 @@
+"""Textual printing of the IR, in an LLVM-flavoured syntax.
+
+The printed form is used in diagnostics, in examples, and in golden tests.
+It is not meant to round-trip; the frontend is the only way in.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.ir.function import BasicBlock, Function, Module
+from repro.ir.instructions import (
+    Alloca,
+    BinaryOp,
+    Branch,
+    Call,
+    Cast,
+    CondBranch,
+    GetElementPtr,
+    ICmp,
+    Instruction,
+    Load,
+    Phi,
+    Return,
+    Select,
+    Store,
+    Unreachable,
+)
+from repro.ir.values import Constant, Value
+
+
+def _operand(value: Value) -> str:
+    if isinstance(value, Constant):
+        return f"{value.type!r} {value.value}"
+    if isinstance(value, BasicBlock):
+        return f"label %{value.name}"
+    return f"{value.type!r} %{value.name}"
+
+
+def print_instruction(inst: Instruction) -> str:
+    """Render a single instruction."""
+    if isinstance(inst, BinaryOp):
+        return (f"%{inst.name} = {inst.kind.value} "
+                f"{_operand(inst.lhs)}, {_operand(inst.rhs)}")
+    if isinstance(inst, ICmp):
+        return (f"%{inst.name} = icmp {inst.pred.value} "
+                f"{_operand(inst.lhs)}, {_operand(inst.rhs)}")
+    if isinstance(inst, Select):
+        return (f"%{inst.name} = select {_operand(inst.condition)}, "
+                f"{_operand(inst.on_true)}, {_operand(inst.on_false)}")
+    if isinstance(inst, Cast):
+        return (f"%{inst.name} = {inst.kind.value} {_operand(inst.value)} "
+                f"to {inst.type!r}")
+    if isinstance(inst, Alloca):
+        return f"%{inst.name} = alloca {inst.allocated_type!r}"
+    if isinstance(inst, Load):
+        return f"%{inst.name} = load {_operand(inst.pointer)}"
+    if isinstance(inst, Store):
+        return f"store {_operand(inst.value)}, {_operand(inst.pointer)}"
+    if isinstance(inst, GetElementPtr):
+        suffix = f", capacity={inst.array_size}" if inst.array_size is not None else ""
+        return (f"%{inst.name} = gep {_operand(inst.pointer)}, "
+                f"{_operand(inst.index)}{suffix}")
+    if isinstance(inst, Call):
+        args = ", ".join(_operand(a) for a in inst.args)
+        if inst.type.is_void():
+            return f"call @{inst.callee}({args})"
+        return f"%{inst.name} = call {inst.type!r} @{inst.callee}({args})"
+    if isinstance(inst, Phi):
+        incoming = ", ".join(
+            f"[ {_operand(v)}, %{b.name} ]" for v, b in inst.incoming)
+        return f"%{inst.name} = phi {inst.type!r} {incoming}"
+    if isinstance(inst, Branch):
+        return f"br label %{inst.target.name}"
+    if isinstance(inst, CondBranch):
+        return (f"br {_operand(inst.condition)}, label %{inst.if_true.name}, "
+                f"label %{inst.if_false.name}")
+    if isinstance(inst, Return):
+        if inst.value is None:
+            return "ret void"
+        return f"ret {_operand(inst.value)}"
+    if isinstance(inst, Unreachable):
+        return "unreachable"
+    return f"<unknown instruction {type(inst).__name__}>"
+
+
+def print_block(block: BasicBlock) -> str:
+    lines = [f"{block.name}:"]
+    for inst in block.instructions:
+        comment = ""
+        if not inst.origin.is_user_code():
+            comment = f"  ; {inst.origin.describe()}"
+        lines.append(f"  {print_instruction(inst)}{comment}")
+    return "\n".join(lines)
+
+
+def print_function(function: Function) -> str:
+    params = ", ".join(
+        f"{arg.type!r} %{arg.name}" for arg in function.arguments)
+    header = f"define {function.ftype.return_type!r} @{function.name}({params}) {{"
+    parts: List[str] = [header]
+    for block in function.blocks:
+        parts.append(print_block(block))
+    parts.append("}")
+    return "\n".join(parts)
+
+
+def print_module(module: Module) -> str:
+    parts = [f"; module {module.name}"]
+    for function in module:
+        if function.is_declaration:
+            parts.append(f"declare @{function.name}")
+        else:
+            parts.append(print_function(function))
+    return "\n\n".join(parts)

@@ -1,0 +1,109 @@
+"""Structural verification of IR modules.
+
+The verifier catches malformed IR early (missing terminators, phi nodes whose
+incoming blocks are not predecessors, type mismatches, dangling block
+references).  The lowering pass and the inliner both run it in tests, and the
+checker runs it defensively before analysis.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.ir.function import BasicBlock, Function, Module
+from repro.ir.instructions import (
+    Branch,
+    CondBranch,
+    ICmp,
+    Instruction,
+    Phi,
+    Return,
+    Store,
+)
+
+
+class VerificationError(Exception):
+    """Raised when an IR module is structurally invalid."""
+
+    def __init__(self, problems: List[str]) -> None:
+        super().__init__("; ".join(problems))
+        self.problems = problems
+
+
+def verify_function(function: Function) -> List[str]:
+    """Return a list of problems found in ``function`` (empty = valid)."""
+    problems: List[str] = []
+    if function.is_declaration:
+        return problems
+    if not function.blocks:
+        return [f"function @{function.name} has no blocks"]
+
+    block_ids = {id(b) for b in function.blocks}
+
+    for block in function.blocks:
+        prefix = f"@{function.name}/%{block.name}"
+        if not block.is_terminated():
+            problems.append(f"{prefix}: block is not terminated")
+        terminator_seen = False
+        for inst in block.instructions:
+            if terminator_seen:
+                problems.append(f"{prefix}: instruction after terminator")
+                break
+            if inst.is_terminator():
+                terminator_seen = True
+            if inst.parent is not block:
+                problems.append(f"{prefix}: instruction parent link is wrong")
+            problems.extend(_verify_instruction(function, block, inst, block_ids))
+
+        preds = {id(p) for p in block.predecessors()}
+        for phi in block.phis():
+            incoming_blocks = {id(b) for _v, b in phi.incoming}
+            if incoming_blocks - preds:
+                problems.append(
+                    f"{prefix}: phi %{phi.name} has incoming edge from a "
+                    f"non-predecessor block")
+            if preds - incoming_blocks:
+                problems.append(
+                    f"{prefix}: phi %{phi.name} is missing an incoming value "
+                    f"for some predecessor")
+
+    ret_type = function.ftype.return_type
+    for ret in function.returns():
+        if ret.value is None and not ret_type.is_void():
+            problems.append(f"@{function.name}: ret void in a non-void function")
+        if ret.value is not None and ret_type.is_void():
+            problems.append(f"@{function.name}: ret with a value in a void function")
+    return problems
+
+
+def _verify_instruction(function: Function, block: BasicBlock,
+                        inst: Instruction, block_ids: set) -> List[str]:
+    prefix = f"@{function.name}/%{block.name}"
+    problems: List[str] = []
+    if isinstance(inst, Branch):
+        if id(inst.target) not in block_ids:
+            problems.append(f"{prefix}: branch to a block outside the function")
+    elif isinstance(inst, CondBranch):
+        if id(inst.if_true) not in block_ids or id(inst.if_false) not in block_ids:
+            problems.append(f"{prefix}: conditional branch target outside the function")
+        if inst.condition.type.bit_width != 1:
+            problems.append(f"{prefix}: conditional branch on a non-i1 value")
+    elif isinstance(inst, ICmp):
+        if inst.lhs.type.bit_width != inst.rhs.type.bit_width:
+            problems.append(f"{prefix}: icmp operand width mismatch")
+    elif isinstance(inst, Store):
+        pointee = inst.pointer.type.pointee
+        if (pointee.is_integer() and inst.value.type.is_integer()
+                and pointee.bit_width != inst.value.type.bit_width):
+            problems.append(f"{prefix}: store width mismatch")
+    return problems
+
+
+def verify_module(module: Module, raise_on_error: bool = True) -> List[str]:
+    """Verify every function; optionally raise :class:`VerificationError`."""
+    problems: List[str] = []
+    for function in module:
+        problems.extend(verify_function(function))
+    if problems and raise_on_error:
+        raise VerificationError(problems)
+    return problems

@@ -1,0 +1,23 @@
+"""Lowering from the MiniC AST to IR.
+
+The lowering pipeline mirrors what clang does for STACK (§4.2):
+
+1. :mod:`repro.lower.lowering` translates the typed AST into IR, initially in
+   a "register-poor" form where every local scalar lives in an alloca.
+2. :mod:`repro.lower.mem2reg` promotes those allocas into SSA values with phi
+   nodes, so data flow between a variable's uses is visible to the checker.
+3. :mod:`repro.lower.inline` optionally inlines calls to functions defined in
+   the same module, tagging the copied instructions with an INLINE origin so
+   the report stage can suppress warnings about compiler-generated code.
+"""
+
+from repro.lower.inline import inline_module
+from repro.lower.lowering import Lowering, lower_translation_unit
+from repro.lower.mem2reg import promote_memory_to_registers
+
+__all__ = [
+    "Lowering",
+    "inline_module",
+    "lower_translation_unit",
+    "promote_memory_to_registers",
+]

@@ -1,0 +1,47 @@
+"""Bit-vector constraint solver used by the STACK checker.
+
+The paper uses the Boolector SMT solver to decide the satisfiability of
+elimination and simplification queries over the theory of fixed-width bit
+vectors (QF_BV).  This package provides a self-contained replacement:
+
+* :mod:`repro.solver.terms` — hash-consed term DAG for booleans and bit
+  vectors (constants, variables, arithmetic, comparisons, shifts, ite, ...).
+* :mod:`repro.solver.simplify` — structural simplification and constant
+  folding, applied while terms are built.
+* :mod:`repro.solver.cnf` — CNF container and Tseitin transformation helpers.
+* :mod:`repro.solver.bitblast` — bit-blasting of bit-vector terms to CNF.
+* :mod:`repro.solver.sat` — a CDCL SAT solver (two-watched literals, VSIDS,
+  restarts).
+* :mod:`repro.solver.solver` — the :class:`Solver` facade with assertion
+  stacks, models and per-query timeouts.
+
+The public API mirrors the small subset of an SMT solver API that STACK
+needs: build terms via :class:`TermManager`, assert them on a
+:class:`Solver`, and call :meth:`Solver.check`.
+"""
+
+from repro.solver.terms import (
+    BV,
+    BOOL,
+    Op,
+    Sort,
+    Term,
+    TermManager,
+)
+from repro.solver.sat import SatResult, SatSolver
+from repro.solver.solver import CheckResult, Model, Solver, SolverStats
+
+__all__ = [
+    "BV",
+    "BOOL",
+    "CheckResult",
+    "Model",
+    "Op",
+    "SatResult",
+    "SatSolver",
+    "Solver",
+    "SolverStats",
+    "Sort",
+    "Term",
+    "TermManager",
+]

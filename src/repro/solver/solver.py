@@ -1,0 +1,280 @@
+"""Solver facade combining term simplification, bit-blasting, and CDCL SAT.
+
+The :class:`Solver` provides the small slice of an SMT solver API that STACK
+needs: assert boolean terms over bit vectors, check satisfiability with a
+per-query timeout, and extract models.  Each ``check`` call builds a fresh
+SAT instance from the current assertion set, which keeps the implementation
+simple and deterministic (the assertion sets the checker produces are small).
+"""
+
+from __future__ import annotations
+
+import enum
+import time
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+from repro.solver.bitblast import BitBlaster
+from repro.solver.cnf import CnfBuilder
+from repro.solver.sat import SatResult, SatSolver
+from repro.solver.simplify import simplify
+from repro.solver.terms import Op, Term, TermManager, collect_variables
+
+
+class CheckResult(enum.Enum):
+    """Outcome of a satisfiability query."""
+
+    SAT = "sat"
+    UNSAT = "unsat"
+    UNKNOWN = "unknown"       # timeout or conflict budget exhausted
+
+
+@dataclass
+class SolverStats:
+    """Counters accumulated across all queries issued to a solver."""
+
+    queries: int = 0
+    sat: int = 0
+    unsat: int = 0
+    unknown: int = 0
+    decided_by_simplification: int = 0
+    total_time: float = 0.0
+
+    def record(self, result: CheckResult, elapsed: float, simplified: bool) -> None:
+        self.queries += 1
+        self.total_time += elapsed
+        if simplified:
+            self.decided_by_simplification += 1
+        if result is CheckResult.SAT:
+            self.sat += 1
+        elif result is CheckResult.UNSAT:
+            self.unsat += 1
+        else:
+            self.unknown += 1
+
+
+class Model:
+    """A satisfying assignment mapping variable names to concrete values."""
+
+    def __init__(self, values: Dict[str, int]) -> None:
+        self._values = dict(values)
+
+    def __getitem__(self, name: str) -> int:
+        return self._values[name]
+
+    def get(self, name: str, default: Optional[int] = None) -> Optional[int]:
+        return self._values.get(name, default)
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._values
+
+    def as_dict(self) -> Dict[str, int]:
+        return dict(self._values)
+
+    def __repr__(self) -> str:
+        items = ", ".join(f"{k}={v}" for k, v in sorted(self._values.items()))
+        return f"Model({items})"
+
+
+class Solver:
+    """Bit-vector satisfiability solver with an assertion stack.
+
+    Parameters
+    ----------
+    manager:
+        The :class:`TermManager` used to build asserted terms.  A solver may
+        also be created without one, in which case it allocates its own.
+    timeout:
+        Default per-query timeout in seconds (``None`` disables it).  The
+        paper uses a 5 second Boolector timeout; the checker passes its own
+        configured value through.
+    max_conflicts:
+        Optional conflict budget per query, an additional determinism-friendly
+        resource limit used by tests.
+    """
+
+    def __init__(
+        self,
+        manager: Optional[TermManager] = None,
+        timeout: Optional[float] = 5.0,
+        max_conflicts: Optional[int] = 200_000,
+    ) -> None:
+        self.manager = manager if manager is not None else TermManager()
+        self.timeout = timeout
+        self.max_conflicts = max_conflicts
+        self.stats = SolverStats()
+        self._assertions: List[Term] = []
+        self._stack: List[int] = []
+        self._last_model: Optional[Model] = None
+
+    # -- assertion stack --------------------------------------------------------
+
+    def add(self, term: Term) -> None:
+        """Assert a boolean term."""
+        if not term.sort.is_bool():
+            raise TypeError("only boolean terms can be asserted")
+        self._assertions.append(term)
+
+    def push(self) -> None:
+        """Push a backtracking point."""
+        self._stack.append(len(self._assertions))
+
+    def pop(self) -> None:
+        """Pop to the most recent backtracking point."""
+        if not self._stack:
+            raise RuntimeError("pop without matching push")
+        size = self._stack.pop()
+        del self._assertions[size:]
+
+    def assertions(self) -> List[Term]:
+        return list(self._assertions)
+
+    def reset(self) -> None:
+        self._assertions.clear()
+        self._stack.clear()
+        self._last_model = None
+
+    # -- checking ----------------------------------------------------------------
+
+    def check(
+        self,
+        extra: Sequence[Term] = (),
+        timeout: Optional[float] = None,
+    ) -> CheckResult:
+        """Decide satisfiability of the asserted terms plus ``extra``."""
+        start = time.monotonic()
+        effective_timeout = self.timeout if timeout is None else timeout
+        mgr = self.manager
+
+        terms = list(self._assertions) + list(extra)
+        conjunction = mgr.true()
+        for t in terms:
+            conjunction = mgr.and_(conjunction, t)
+        conjunction = simplify(mgr, conjunction)
+
+        if conjunction.is_const():
+            result = CheckResult.SAT if conjunction.value else CheckResult.UNSAT
+            if result is CheckResult.SAT:
+                self._last_model = Model(self._default_model(terms))
+            self.stats.record(result, time.monotonic() - start, simplified=True)
+            return result
+
+        # Cheap SAT pre-pass: try a handful of concrete assignments with the
+        # term evaluator before paying for bit-blasting.  Sound because a
+        # verified satisfying assignment is a model; never claims UNSAT.
+        guessed = self._guess_model(conjunction)
+        if guessed is not None:
+            self._last_model = guessed
+            self.stats.record(CheckResult.SAT, time.monotonic() - start,
+                              simplified=True)
+            return CheckResult.SAT
+
+        sat = SatSolver()
+        cnf = CnfBuilder(sat)
+        blaster = BitBlaster(cnf)
+        blaster.assert_term(conjunction)
+
+        remaining = None
+        if effective_timeout is not None:
+            remaining = max(0.0, effective_timeout - (time.monotonic() - start))
+        sat_result = sat.solve(max_conflicts=self.max_conflicts, timeout=remaining)
+
+        if sat_result is SatResult.SAT:
+            result = CheckResult.SAT
+            self._last_model = self._extract_model(sat, blaster, terms)
+        elif sat_result is SatResult.UNSAT:
+            result = CheckResult.UNSAT
+            self._last_model = None
+        else:
+            result = CheckResult.UNKNOWN
+            self._last_model = None
+        self.stats.record(result, time.monotonic() - start, simplified=False)
+        return result
+
+    def model(self) -> Model:
+        """Model of the last SAT query."""
+        if self._last_model is None:
+            raise RuntimeError("no model available; last check was not SAT")
+        return self._last_model
+
+    # -- helpers -------------------------------------------------------------------
+
+    #: Seed patterns used by the model-guessing pre-pass, expressed as
+    #: functions of the variable width.
+    _GUESS_PATTERNS = (
+        lambda width: 0,
+        lambda width: 1,
+        lambda width: (1 << width) - 1,            # -1 / all ones
+        lambda width: 1 << (width - 1),            # INT_MIN
+        lambda width: (1 << (width - 1)) - 1,      # INT_MAX
+        lambda width: 2,
+        lambda width: 0x10,
+        lambda width: (1 << width) - 0x10,
+    )
+
+    def _guess_model(self, conjunction: Term) -> Optional[Model]:
+        """Try a few concrete assignments; return a verified model or None."""
+        variables = collect_variables(conjunction)
+        if not variables or len(variables) > 24:
+            return None
+        names = sorted(variables)
+        for pattern_index, pattern in enumerate(self._GUESS_PATTERNS):
+            assignment: Dict[str, int] = {}
+            for offset, name in enumerate(names):
+                sort = variables[name]
+                width = sort.width if sort.is_bv() else 1
+                # Rotate patterns across variables so mixtures get explored.
+                chosen = self._GUESS_PATTERNS[
+                    (pattern_index + offset) % len(self._GUESS_PATTERNS)]
+                value = chosen(width) & ((1 << width) - 1)
+                assignment[name] = value if sort.is_bv() else value & 1
+            try:
+                if self.manager.evaluate(conjunction, assignment):
+                    return Model(assignment)
+            except (KeyError, NotImplementedError):
+                return None
+        return None
+
+    def _default_model(self, terms: Sequence[Term]) -> Dict[str, int]:
+        """Arbitrary assignment when the formula simplified to ``true``."""
+        values: Dict[str, int] = {}
+        for term in terms:
+            for name, sort in collect_variables(term).items():
+                values.setdefault(name, 0)
+        return values
+
+    def _extract_model(
+        self,
+        sat: SatSolver,
+        blaster: BitBlaster,
+        terms: Sequence[Term],
+    ) -> Model:
+        values: Dict[str, int] = {}
+        for name, bits in blaster.known_bv_variables().items():
+            value = 0
+            for i, lit in enumerate(bits):
+                bit_val = sat.model_value(abs(lit))
+                if lit < 0:
+                    bit_val = not bit_val
+                if bit_val:
+                    value |= 1 << i
+            values[name] = value
+        for name, lit in blaster.known_bool_variables().items():
+            bit_val = sat.model_value(abs(lit))
+            if lit < 0:
+                bit_val = not bit_val
+            values[name] = int(bit_val)
+        # Variables folded away before blasting get an arbitrary value.
+        for term in terms:
+            for name, _sort in collect_variables(term).items():
+                values.setdefault(name, 0)
+        return Model(values)
+
+
+def is_unsat(manager: TermManager, *terms: Term,
+             timeout: Optional[float] = 5.0) -> bool:
+    """Convenience helper: True iff the conjunction of ``terms`` is UNSAT."""
+    solver = Solver(manager, timeout=timeout)
+    for term in terms:
+        solver.add(term)
+    return solver.check() is CheckResult.UNSAT

@@ -1,0 +1,133 @@
+"""Tests for the top-level API, report classification, and the example scripts."""
+
+import runpy
+import sys
+from pathlib import Path
+
+import pytest
+
+from repro import (
+    CheckerConfig,
+    StackChecker,
+    check_function,
+    check_module,
+    check_source,
+    compile_source,
+)
+from repro.core.classify import BugClass, classify_diagnostic
+from repro.core.report import Algorithm, BugReport, Diagnostic, MinimalUBSet
+from repro.core.ubconditions import UBCondition, UBKind
+from repro.ir.source import SourceLocation
+
+EXAMPLES_DIR = Path(__file__).resolve().parent.parent / "examples"
+
+
+class TestPublicApi:
+    def test_compile_source_returns_module(self):
+        module = compile_source("int f(int a) { return a + 1; }")
+        assert module.get_function("f") is not None
+
+    def test_check_module_and_function(self):
+        module = compile_source("""
+            int f(int *p) { int x = *p; if (!p) return -1; return x; }
+        """)
+        report = check_module(module)
+        assert report.bugs
+        function_report = check_function(module.get_function("f"))
+        assert function_report.diagnostics
+
+    def test_check_source_with_config(self):
+        config = CheckerConfig(minimize_ub_sets=False)
+        report = check_source("int f(int x) { if (x + 1 < x) return 1; return 0; }",
+                              config=config)
+        assert report.bugs
+
+    def test_lazy_top_level_exports(self):
+        import repro
+
+        assert repro.__version__ == "1.0.0"
+        assert repro.StackChecker is StackChecker
+        with pytest.raises(AttributeError):
+            repro.does_not_exist
+
+    def test_multiple_functions_independent_reports(self):
+        report = check_source("""
+            int good(int a, int b) { if (b == 0) return 0; return a / b; }
+            int bad(int x) { if (x + 100 < x) return -1; return 0; }
+        """)
+        functions = {f.function for f in report.functions}
+        assert functions == {"good", "bad"}
+        assert all(b.function == "bad" for b in report.bugs)
+
+
+class TestClassification:
+    def _diagnostic(self, kinds):
+        conditions = []
+        return Diagnostic(
+            function="f", location=SourceLocation("f.c", 1, 1),
+            algorithm=Algorithm.SIMPLIFY_BOOLEAN, message="m",
+            ub_set=MinimalUBSet(conditions) if not kinds else _fake_set(kinds))
+
+    def test_known_label_wins(self):
+        diagnostic = self._diagnostic([UBKind.NULL_DEREF])
+        assert classify_diagnostic(diagnostic, known_label=BugClass.REDUNDANT) \
+            is BugClass.REDUNDANT
+
+    def test_empty_ub_set_is_redundant(self):
+        diagnostic = self._diagnostic([])
+        assert classify_diagnostic(diagnostic) is BugClass.REDUNDANT
+
+    def test_unconditional_ub_is_non_optimization(self):
+        diagnostic = self._diagnostic([UBKind.NULL_DEREF])
+        assert classify_diagnostic(diagnostic, ub_executes_unconditionally=True) \
+            is BugClass.NON_OPTIMIZATION
+
+    def test_current_compiler_discard_is_urgent(self):
+        diagnostic = self._diagnostic([UBKind.DIV_BY_ZERO])
+        assert classify_diagnostic(diagnostic, discarded_by_current_compiler=True) \
+            is BugClass.URGENT_OPTIMIZATION
+
+    def test_unexploited_kind_is_time_bomb(self):
+        diagnostic = self._diagnostic([UBKind.MEMCPY_OVERLAP])
+        assert classify_diagnostic(diagnostic) is BugClass.TIME_BOMB
+
+    def test_bug_class_reality(self):
+        assert BugClass.REDUNDANT.is_real_bug is False
+        assert BugClass.TIME_BOMB.is_real_bug is True
+
+
+def _fake_set(kinds):
+    from repro.ir.instructions import Return
+    conditions = []
+    for kind in kinds:
+        inst = Return(None)
+        from repro.solver.terms import TermManager
+        manager = TermManager()
+        conditions.append(UBCondition(kind, manager.bool_var("u"), inst))
+    return MinimalUBSet(conditions)
+
+
+class TestReports:
+    def test_bug_report_merge_and_counters(self):
+        first = check_source("int f(int x) { if (x + 1 < x) return 1; return 0; }")
+        second = check_source("int g(int *p) { int v = *p; if (!p) return 1; return v; }")
+        first.merge(second)
+        assert len(first.bugs) >= 2
+        assert first.queries > 0
+
+    def test_diagnostic_describe_mentions_everything(self):
+        report = check_source("int f(int x) { if (x + 1 < x) return 1; return 0; }")
+        bug = report.bugs[0]
+        text = bug.describe()
+        assert "unstable code" in text
+        assert bug.function in text
+
+
+@pytest.mark.parametrize("script", ["quickstart.py", "postgres_division.py",
+                                    "kernel_null_check.py"])
+def test_example_scripts_run(script, capsys):
+    """The example programs must run end-to-end and print diagnostics."""
+    path = EXAMPLES_DIR / script
+    runpy.run_path(str(path), run_name="__main__")
+    output = capsys.readouterr().out
+    assert "unstable" in output or "warning" in output

@@ -1,0 +1,177 @@
+"""Tests for the simulated compiler passes, pipelines, profiles, and survey."""
+
+import pytest
+
+from repro.api import compile_source
+from repro.compilers import (
+    ALL_PROFILES,
+    Capability,
+    OptimizationPipeline,
+    optimize_function,
+    profile_by_name,
+)
+from repro.compilers.survey import (
+    MARKER,
+    PAPER_FIGURE4,
+    SURVEY_EXAMPLES,
+    discard_level,
+    run_survey,
+    survey_matrix,
+)
+from repro.ir.instructions import Return
+from repro.ir.values import Constant
+
+
+def marker_survives(module) -> bool:
+    for function in module.defined_functions():
+        for inst in function.instructions():
+            if isinstance(inst, Return) and isinstance(inst.value, Constant) \
+                    and inst.value.value == MARKER:
+                return True
+    return False
+
+
+def optimize(source: str, capabilities) -> bool:
+    """Return True if the marker check survives optimization."""
+    module = compile_source(source)
+    pipeline = OptimizationPipeline(capabilities=set(capabilities))
+    pipeline.run_module(module)
+    return marker_survives(module)
+
+
+SIGNED_CHECK = f"""
+int f(int x) {{
+    if (x + 100 < x) return {MARKER};
+    return 0;
+}}
+"""
+
+NULL_CHECK = f"""
+int f(int *p) {{
+    int v = *p;
+    if (!p) return {MARKER};
+    return v;
+}}
+"""
+
+POINTER_CHECK = f"""
+int f(char *p) {{
+    if (p + 100 < p) return {MARKER};
+    return 0;
+}}
+"""
+
+
+class TestPasses:
+    def test_signed_overflow_fold_requires_capability(self):
+        assert optimize(SIGNED_CHECK, []) is True
+        assert optimize(SIGNED_CHECK, [Capability.SIGNED_OVERFLOW_FOLD]) is False
+
+    def test_null_check_elimination_requires_capability(self):
+        assert optimize(NULL_CHECK, []) is True
+        assert optimize(NULL_CHECK, [Capability.NULL_CHECK_ELIMINATION]) is False
+
+    def test_pointer_overflow_fold_requires_capability(self):
+        assert optimize(POINTER_CHECK, []) is True
+        assert optimize(POINTER_CHECK, [Capability.POINTER_OVERFLOW_FOLD]) is False
+
+    def test_value_range_fold_needs_both_capabilities(self):
+        source = f"""
+        int f(int x) {{
+            if (x <= 0) return 0;
+            if (x + 100 < 0) return {MARKER};
+            return 1;
+        }}
+        """
+        assert optimize(source, [Capability.SIGNED_OVERFLOW_FOLD]) is True
+        assert optimize(source, [Capability.SIGNED_OVERFLOW_FOLD,
+                                 Capability.VALUE_RANGE_SIGNED]) is False
+
+    def test_shift_fold(self):
+        source = f"""
+        int f(int x) {{
+            if (!(1 << x)) return {MARKER};
+            return 0;
+        }}
+        """
+        assert optimize(source, []) is True
+        assert optimize(source, [Capability.OVERSIZED_SHIFT_FOLD]) is False
+
+    def test_abs_fold(self):
+        source = f"""
+        int f(int x) {{
+            if (abs(x) < 0) return {MARKER};
+            return 0;
+        }}
+        """
+        assert optimize(source, []) is True
+        assert optimize(source, [Capability.ABS_FOLD]) is False
+
+    def test_well_guarded_check_never_removed(self):
+        source = f"""
+        int f(int *p) {{
+            if (!p) return {MARKER};
+            return *p;
+        }}
+        """
+        every_capability = list(Capability)
+        assert optimize(source, every_capability) is True
+
+    def test_optimize_function_reports_statistics(self):
+        module = compile_source(SIGNED_CHECK)
+        function = module.defined_functions()[0]
+        context = optimize_function(function, [Capability.SIGNED_OVERFLOW_FOLD])
+        assert context.folded_comparisons >= 1
+        assert context.removed_blocks >= 1
+
+
+class TestProfiles:
+    def test_all_sixteen_profiles_present(self):
+        assert len(ALL_PROFILES) == 16
+        assert len({p.name for p in ALL_PROFILES}) == 16
+
+    def test_profile_lookup(self):
+        gcc = profile_by_name("gcc-4.8.1")
+        assert gcc.vendor == "GNU"
+        with pytest.raises(KeyError):
+            profile_by_name("no-such-compiler")
+
+    def test_capabilities_accumulate_with_level(self):
+        gcc = profile_by_name("gcc-4.8.1")
+        assert Capability.SIGNED_OVERFLOW_FOLD not in gcc.capabilities_at(1)
+        assert Capability.SIGNED_OVERFLOW_FOLD in gcc.capabilities_at(2)
+        assert gcc.capabilities_at(2) <= gcc.capabilities_at(3)
+
+    def test_old_gcc_less_aggressive_than_new(self):
+        old = profile_by_name("gcc-2.95.3")
+        new = profile_by_name("gcc-4.8.1")
+        assert len(old.capabilities_at(3)) < len(new.capabilities_at(3))
+
+
+class TestSurvey:
+    def test_six_examples(self):
+        assert len(SURVEY_EXAMPLES) == 6
+
+    def test_discard_level_for_known_cells(self):
+        gcc48 = profile_by_name("gcc-4.8.1")
+        signed_example = next(e for e in SURVEY_EXAMPLES if e.key == "signed")
+        assert discard_level(gcc48, signed_example) == 2
+        gcc295 = profile_by_name("gcc-2.95.3")
+        pointer_example = next(e for e in SURVEY_EXAMPLES if e.key == "pointer")
+        assert discard_level(gcc295, pointer_example) is None
+
+    def test_survey_subset_matches_paper(self):
+        subset = [profile_by_name("gcc-4.8.1"), profile_by_name("clang-3.3"),
+                  profile_by_name("msvc-11.0")]
+        result = run_survey(profiles=subset)
+        for profile in subset:
+            for example in SURVEY_EXAMPLES:
+                assert result.cell(profile.name, example.key) == \
+                    PAPER_FIGURE4[profile.name][example.key]
+
+    def test_matrix_rendering(self):
+        subset = [profile_by_name("gcc-4.8.1")]
+        result = run_survey(profiles=subset)
+        text = survey_matrix(result)
+        assert "gcc-4.8.1" in text
+        assert "O2" in text

@@ -1,0 +1,151 @@
+"""Tests for the corpus package: snippets, systems, the Debian model, §6.6 suite."""
+
+import pytest
+
+from repro.core.classify import BugClass
+from repro.core.ubconditions import UBKind
+from repro.corpus import (
+    COMPLETENESS_TESTS,
+    DebianArchiveModel,
+    SNIPPETS,
+    STABLE_SNIPPETS,
+    SYSTEMS,
+    generate_system_corpus,
+    snippet_by_name,
+    snippets_for_kind,
+)
+from repro.corpus.benchmark_suite import expected_detection_count
+from repro.corpus.debian import PAPER_REPORTS_BY_KIND
+from repro.corpus.systems import (
+    FIGURE9_KIND_TOTALS,
+    FIGURE9_SYSTEM_TOTALS,
+    FIGURE9_TOTAL_BUGS,
+    apportion_bug_matrix,
+    system_by_name,
+)
+from repro.frontend import analyze, parse
+
+
+class TestSnippets:
+    def test_every_ub_kind_has_a_template(self):
+        for kind in FIGURE9_KIND_TOTALS:
+            assert snippets_for_kind(kind), f"no template for {kind}"
+
+    def test_unstable_snippets_have_expectations(self):
+        for snippet in SNIPPETS:
+            assert snippet.ub_kinds
+            assert snippet.bug_class is not None
+            assert snippet.is_unstable
+
+    def test_stable_snippets_have_no_expected_kinds(self):
+        for snippet in STABLE_SNIPPETS:
+            assert not snippet.is_unstable
+
+    def test_render_substitutes_suffix(self):
+        snippet = snippet_by_name("fig2_null_check_after_deref")
+        rendered = snippet.render("abc")
+        assert "{S}" not in rendered
+        assert "abc" in rendered
+
+    def test_rendered_snippets_parse_and_typecheck(self):
+        for snippet in SNIPPETS + STABLE_SNIPPETS:
+            unit = analyze(parse(snippet.render("tu"), filename=snippet.name))
+            assert unit.functions(), f"{snippet.name} defines no function"
+
+    def test_unknown_snippet_raises(self):
+        with pytest.raises(KeyError):
+            snippet_by_name("definitely-not-a-snippet")
+
+    def test_distinct_suffixes_give_distinct_sources(self):
+        snippet = snippet_by_name("signed_add_sanity_check")
+        assert snippet.render("a") != snippet.render("b")
+
+
+class TestSystems:
+    def test_row_totals_match_paper(self):
+        assert sum(FIGURE9_SYSTEM_TOTALS.values()) == FIGURE9_TOTAL_BUGS
+        for profile in SYSTEMS:
+            assert sum(profile.breakdown.values()) == profile.total_bugs
+
+    def test_column_totals_match_paper(self):
+        matrix = apportion_bug_matrix()
+        for kind, expected in FIGURE9_KIND_TOTALS.items():
+            actual = sum(row.get(kind, 0) for row in matrix.values())
+            assert actual == expected
+
+    def test_hinted_placements_respected(self):
+        kerberos = system_by_name("Kerberos")
+        assert kerberos.breakdown.get(UBKind.NULL_DEREF) == 9
+        linux = system_by_name("Linux kernel")
+        assert linux.breakdown.get(UBKind.OVERSIZED_SHIFT) == 10
+        postgres = system_by_name("Postgres")
+        assert postgres.breakdown.get(UBKind.SIGNED_OVERFLOW) == 7
+
+    def test_generate_corpus_counts(self):
+        profile = system_by_name("Kerberos")
+        corpus = generate_system_corpus(profile)
+        seeded = [entry for entry in corpus if entry[2] is not None]
+        stable = [entry for entry in corpus if entry[2] is None]
+        assert len(seeded) == profile.total_bugs
+        assert stable
+        # Redundant-code templates are excluded from the bug seeding.
+        assert all(entry[2].bug_class is not BugClass.REDUNDANT for entry in seeded)
+
+    def test_generated_filenames_are_unique(self):
+        profile = system_by_name("Linux kernel")
+        corpus = generate_system_corpus(profile)
+        names = [entry[0] for entry in corpus]
+        assert len(names) == len(set(names))
+
+    def test_unknown_system_raises(self):
+        with pytest.raises(KeyError):
+            system_by_name("Plan 10")
+
+
+class TestDebianModel:
+    def test_generation_is_deterministic(self):
+        model_a = DebianArchiveModel(seed=7)
+        model_b = DebianArchiveModel(seed=7)
+        pkg_a = model_a.generate_package(42)
+        pkg_b = model_b.generate_package(42)
+        assert [f[0] for f in pkg_a.files] == [f[0] for f in pkg_b.files]
+        assert [f[1] for f in pkg_a.files] == [f[1] for f in pkg_b.files]
+
+    def test_different_seeds_differ(self):
+        sample_a = DebianArchiveModel(seed=1).sample_packages(30)
+        sample_b = DebianArchiveModel(seed=2).sample_packages(30)
+        flags_a = [p.has_seeded_unstable_code for p in sample_a]
+        flags_b = [p.has_seeded_unstable_code for p in sample_b]
+        assert flags_a != flags_b or sample_a[0].files[0][1] != sample_b[0].files[0][1]
+
+    def test_unstable_fraction_roughly_calibrated(self):
+        model = DebianArchiveModel()
+        sample = model.sample_packages(200)
+        fraction = sum(1 for p in sample if p.has_seeded_unstable_code) / len(sample)
+        paper_fraction = 3471 / 8575
+        assert abs(fraction - paper_fraction) < 0.15
+
+    def test_scale_to_archive(self):
+        assert DebianArchiveModel.scale_to_archive(10, 100, population=1000) == 100
+        assert DebianArchiveModel.scale_to_archive(5, 0) == 0.0
+
+    def test_kind_weights_cover_paper_table(self):
+        model = DebianArchiveModel()
+        kinds = {kind for kind, _weight in model._kind_weight_table()}
+        assert kinds == set(PAPER_REPORTS_BY_KIND)
+
+
+class TestCompletenessSuite:
+    def test_ten_tests_seven_expected(self):
+        assert len(COMPLETENESS_TESTS) == 10
+        assert expected_detection_count() == 7
+
+    def test_missed_tests_have_reasons(self):
+        for test in COMPLETENESS_TESTS:
+            if not test.expected_detected:
+                assert "4.6" in test.reason or "reachability" in test.reason
+
+    def test_sources_parse(self):
+        for test in COMPLETENESS_TESTS:
+            unit = analyze(parse(test.source, filename=test.name))
+            assert unit.functions()

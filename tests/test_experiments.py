@@ -1,0 +1,118 @@
+"""Tests for the experiment drivers (scaled-down runs)."""
+
+import pytest
+
+from repro.core.report import Algorithm
+from repro.core.ubconditions import UBKind
+from repro.corpus.snippets import snippet_by_name
+from repro.corpus.systems import system_by_name
+from repro.experiments import (
+    SnippetAnalyzer,
+    render_table,
+    run_case_studies,
+    run_completeness,
+    run_figure4,
+    run_figure9,
+    run_figure16,
+    run_precision,
+    run_prevalence,
+)
+
+
+@pytest.fixture(scope="module")
+def analyzer():
+    """A module-scoped analyzer so snippet analyses are shared across tests."""
+    return SnippetAnalyzer()
+
+
+class TestCommon:
+    def test_render_table_alignment(self):
+        text = render_table(["a", "bb"], [[1, 2], [333, 4]], title="T")
+        lines = text.splitlines()
+        assert lines[0] == "T"
+        assert "333" in text
+
+    def test_analyzer_memoises(self, analyzer):
+        snippet = snippet_by_name("signed_add_sanity_check")
+        first = analyzer.analyze(snippet)
+        second = analyzer.analyze(snippet)
+        assert first is second
+        assert first.flagged
+
+    def test_analyzer_reports_kinds(self, analyzer):
+        snippet = snippet_by_name("ext4_oversized_shift_check")
+        analysis = analyzer.analyze(snippet)
+        assert UBKind.OVERSIZED_SHIFT in analysis.kinds
+
+
+class TestFigure4:
+    def test_matrix_matches_paper(self):
+        result = run_figure4()
+        assert result.matches_paper, result.mismatches
+        assert "gcc-4.8.1" in result.render()
+
+
+class TestFigure9:
+    def test_single_system_counts(self, analyzer):
+        kerberos = system_by_name("Kerberos")
+        result = run_figure9(systems=[kerberos], analyzer=analyzer)
+        finding = result.findings[0]
+        assert finding.seeded_bugs == 11
+        assert finding.confirmed_bugs == 11
+        assert finding.by_kind.get(UBKind.NULL_DEREF) == 9
+
+    def test_render_contains_all_row(self, analyzer):
+        result = run_figure9(systems=[system_by_name("Python")], analyzer=analyzer)
+        assert "all" in result.render()
+
+
+class TestFigure16:
+    def test_scaled_measurement_shape(self):
+        result = run_figure16(scale=0.002)
+        names = {m.system for m in result.measurements}
+        assert names == {"Kerberos", "Postgres", "Linux kernel"}
+        linux = next(m for m in result.measurements if m.system == "Linux kernel")
+        kerberos = next(m for m in result.measurements if m.system == "Kerberos")
+        assert linux.files > kerberos.files
+        assert linux.queries > 0
+        assert "Figure 16" in result.render()
+
+
+class TestPrevalence:
+    def test_small_sample_statistics(self, analyzer):
+        result = run_prevalence(sample_size=25, analyzer=analyzer)
+        assert 0 < result.packages_with_reports <= 25
+        assert result.reports_by_kind
+        assert result.single_ub_reports >= 0
+        assert result.extrapolated_packages_with_reports() > 0
+        rendered = result.render()
+        assert "Figure 17" in rendered and "Figure 18" in rendered
+
+    def test_sampling_is_deterministic(self, analyzer):
+        first = run_prevalence(sample_size=15, analyzer=analyzer)
+        second = run_prevalence(sample_size=15, analyzer=analyzer)
+        assert first.packages_with_reports == second.packages_with_reports
+        assert first.reports_by_kind == second.reports_by_kind
+
+
+class TestCaseStudiesAndPrecision:
+    def test_case_studies_all_detected(self, analyzer):
+        result = run_case_studies(analyzer=analyzer)
+        assert result.detected_count == len(result.outcomes) >= 8
+        assert "Figure 2" in result.render()
+
+    def test_precision_matches_paper_composition(self, analyzer):
+        result = run_precision(analyzer=analyzer)
+        assert result.system_reports["Kerberos"] == 11
+        assert result.system_redundant["Kerberos"] == 0
+        assert result.system_reports["Postgres"] == 68
+        assert result.system_redundant["Postgres"] == 4
+        assert result.false_warning_rate("Postgres") == pytest.approx(4 / 68)
+
+
+class TestCompleteness:
+    def test_seven_of_ten(self):
+        result = run_completeness()
+        assert result.detected_count == 7
+        assert result.matches_paper
+        assert "7 of 10" in result.render() or "7" in result.render()

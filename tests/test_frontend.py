@@ -1,0 +1,244 @@
+"""Unit tests for the MiniC frontend: lexer, preprocessor, parser, sema."""
+
+import pytest
+
+from repro.frontend import parse, analyze, Preprocessor
+from repro.frontend.ast_nodes import (
+    AssignExpr,
+    BinaryExpr,
+    CallExpr,
+    CastExpr,
+    DeclStmt,
+    ForStmt,
+    FunctionDecl,
+    Identifier,
+    IfStmt,
+    IntLiteral,
+    MemberExpr,
+    ReturnStmt,
+    StructDecl,
+    UnaryExpr,
+    WhileStmt,
+)
+from repro.frontend.ctypes import CInt, CPointer, CStruct
+from repro.frontend.errors import LexError, ParseError, SemaError
+from repro.frontend.lexer import Lexer, TokenKind, tokenize
+from repro.ir.source import OriginKind
+
+
+class TestLexer:
+    def test_identifiers_and_keywords(self):
+        tokens = tokenize("int foo_bar;")
+        assert tokens[0].is_keyword("int")
+        assert tokens[1].is_ident("foo_bar")
+        assert tokens[2].is_punct(";")
+        assert tokens[-1].kind is TokenKind.EOF
+
+    def test_integer_literals(self):
+        tokens = tokenize("42 0x2a 100UL 7u")
+        assert tokens[0].value == 42
+        assert tokens[1].value == 0x2A
+        assert tokens[2].value == 100 and tokens[2].suffix == "ul"
+        assert tokens[3].suffix == "u"
+
+    def test_char_and_string_literals(self):
+        tokens = tokenize("'.' \"hello\\n\"")
+        assert tokens[0].kind is TokenKind.CHAR_LITERAL
+        assert tokens[0].value == ord(".")
+        assert tokens[1].kind is TokenKind.STRING_LITERAL
+        assert tokens[1].text == "hello\n"
+
+    def test_multichar_punctuators(self):
+        tokens = tokenize("a->b <<= c && d++")
+        texts = [t.text for t in tokens[:-1]]
+        assert "->" in texts and "<<=" in texts and "&&" in texts and "++" in texts
+
+    def test_comments_are_skipped(self):
+        tokens = tokenize("int x; // comment\n/* block\ncomment */ int y;")
+        idents = [t.text for t in tokens if t.kind is TokenKind.IDENT]
+        assert idents == ["x", "y"]
+
+    def test_line_numbers_tracked(self):
+        tokens = tokenize("int a;\nint b;")
+        b_token = [t for t in tokens if t.is_ident("b")][0]
+        assert b_token.location.line == 2
+
+    def test_bad_character_raises(self):
+        with pytest.raises(LexError):
+            tokenize("int $x;")
+
+    def test_unterminated_comment_raises(self):
+        with pytest.raises(LexError):
+            tokenize("/* never closed")
+
+
+class TestPreprocessor:
+    def test_object_macro_expansion(self):
+        pp = Preprocessor()
+        tokens = pp.preprocess("#define LIMIT 100\nint x = LIMIT;")
+        values = [t.value for t in tokens if t.kind is TokenKind.INT_LITERAL]
+        assert values == [100]
+
+    def test_function_macro_expansion(self):
+        pp = Preprocessor()
+        tokens = pp.preprocess("#define SQUARE(x) ((x) * (x))\nint y = SQUARE(5);")
+        assert sum(1 for t in tokens if t.kind is TokenKind.INT_LITERAL) == 2
+
+    def test_macro_tokens_carry_macro_origin(self):
+        pp = Preprocessor()
+        tokens = pp.preprocess("#define IS_NULL(p) (p == 0)\nint z = IS_NULL(q);")
+        macro_tokens = [t for t in tokens if t.origin.kind is OriginKind.MACRO]
+        assert macro_tokens
+        assert all(t.origin.detail == "IS_NULL" for t in macro_tokens)
+
+    def test_undef_removes_macro(self):
+        pp = Preprocessor()
+        tokens = pp.preprocess("#define A 1\n#undef A\nint x = A;")
+        assert any(t.is_ident("A") for t in tokens)
+
+    def test_include_lines_are_ignored(self):
+        pp = Preprocessor()
+        tokens = pp.preprocess('#include <stdio.h>\nint x;')
+        assert any(t.is_ident("x") for t in tokens)
+
+    def test_nested_macro_expansion(self):
+        pp = Preprocessor()
+        tokens = pp.preprocess("#define A B\n#define B 7\nint x = A;")
+        assert any(t.kind is TokenKind.INT_LITERAL and t.value == 7 for t in tokens)
+
+
+class TestParser:
+    def test_simple_function(self):
+        unit = parse("int add(int a, int b) { return a + b; }")
+        func = unit.function("add")
+        assert func is not None
+        assert len(func.params) == 2
+        assert isinstance(func.body.statements[0], ReturnStmt)
+
+    def test_pointer_and_array_declarations(self):
+        unit = parse("int f(void) { char *p; int a[10]; return 0; }")
+        body = unit.function("f").body.statements
+        assert isinstance(body[0], DeclStmt) and isinstance(body[0].decl_type, CPointer)
+        assert body[1].decl_type.is_array() and body[1].decl_type.count == 10
+
+    def test_struct_declaration_and_member_access(self):
+        unit = parse("""
+            struct sock { int fd; };
+            struct tun_struct { struct sock *sk; int flags; };
+            int f(struct tun_struct *tun) { return tun->flags; }
+        """)
+        func = unit.function("f")
+        ret = func.body.statements[0]
+        assert isinstance(ret.value, MemberExpr)
+        assert ret.value.arrow is True
+
+    def test_control_flow_statements(self):
+        unit = parse("""
+            int f(int n) {
+                int total = 0;
+                for (int i = 0; i < n; i = i + 1) total += i;
+                while (total > 100) total -= 10;
+                if (total < 0) return -1; else return total;
+            }
+        """)
+        body = unit.function("f").body.statements
+        assert isinstance(body[1], ForStmt)
+        assert isinstance(body[2], WhileStmt)
+        assert isinstance(body[3], IfStmt)
+
+    def test_expression_precedence(self):
+        unit = parse("int f(int a, int b) { return a + b * 2; }")
+        ret = unit.function("f").body.statements[0]
+        assert isinstance(ret.value, BinaryExpr)
+        assert ret.value.op == "+"
+        assert isinstance(ret.value.rhs, BinaryExpr) and ret.value.rhs.op == "*"
+
+    def test_ternary_and_logical_operators(self):
+        unit = parse("int f(int a) { return a > 0 && a < 10 ? 1 : 0; }")
+        assert unit.function("f") is not None
+
+    def test_cast_expression(self):
+        unit = parse("long f(int a) { return (long)a; }")
+        ret = unit.function("f").body.statements[0]
+        assert isinstance(ret.value, CastExpr)
+
+    def test_typedef_types_usable(self):
+        unit = parse("int64_t f(int64_t x) { return x; }")
+        func = unit.function("f")
+        assert isinstance(func.return_type, CInt)
+        assert func.return_type.width == 64
+
+    def test_call_with_arguments(self):
+        unit = parse("int f(int a) { return abs(a); }")
+        ret = unit.function("f").body.statements[0]
+        assert isinstance(ret.value, CallExpr) and ret.value.callee == "abs"
+
+    def test_prototype_without_body(self):
+        unit = parse("int g(int); int f(int a) { return g(a); }")
+        assert unit.function("g") is None
+        assert unit.function("f") is not None
+
+    def test_parse_error_reports_location(self):
+        with pytest.raises(ParseError):
+            parse("int f( { }")
+
+    def test_global_variable(self):
+        unit = parse("int counter = 3; int f(void) { return counter; }")
+        assert len(unit.declarations) == 2
+
+
+class TestSema:
+    def test_expression_types_assigned(self):
+        unit = analyze(parse("int f(int a, int b) { return a + b; }"))
+        ret = unit.function("f").body.statements[0]
+        assert isinstance(ret.value.ctype, CInt)
+        assert ret.value.ctype.width == 32
+
+    def test_usual_arithmetic_conversion_to_unsigned(self):
+        unit = analyze(parse("unsigned int f(unsigned int a, int b) { return a + b; }"))
+        ret = unit.function("f").body.statements[0]
+        assert ret.value.ctype.signed is False
+
+    def test_implicit_cast_inserted_for_narrowing(self):
+        unit = analyze(parse("int f(long x) { int y = x; return y; }"))
+        decl = unit.function("f").body.statements[0]
+        assert isinstance(decl.initializer, CastExpr)
+        assert decl.initializer.implicit
+
+    def test_pointer_arithmetic_type(self):
+        unit = analyze(parse("char *f(char *p, int n) { return p + n; }"))
+        ret = unit.function("f").body.statements[0]
+        assert isinstance(ret.value.ctype, CPointer)
+
+    def test_member_offsets_computed(self):
+        unit = analyze(parse("""
+            struct pair { int first; int second; };
+            int f(struct pair *p) { return p->second; }
+        """))
+        ret = unit.function("f").body.statements[0]
+        assert ret.value.field_offset == 4
+
+    def test_undeclared_identifier_rejected(self):
+        with pytest.raises(SemaError):
+            analyze(parse("int f(void) { return missing; }"))
+
+    def test_unknown_member_rejected(self):
+        with pytest.raises(SemaError):
+            analyze(parse("""
+                struct s { int a; };
+                int f(struct s *p) { return p->b; }
+            """))
+
+    def test_known_library_function_types(self):
+        unit = analyze(parse("char *f(char *s) { return strchr(s, '.'); }"))
+        ret = unit.function("f").body.statements[0]
+        assert isinstance(ret.value.ctype, CPointer)
+
+    def test_dereference_of_non_pointer_rejected(self):
+        with pytest.raises(SemaError):
+            analyze(parse("int f(int a) { return *a; }"))
+
+    def test_comparison_yields_int(self):
+        unit = analyze(parse("int f(int a) { return a < 3; }"))
+        ret = unit.function("f").body.statements[0]
+        assert ret.value.ctype.width == 32

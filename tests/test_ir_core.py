@@ -1,0 +1,242 @@
+"""Unit tests for the IR substrate: types, builder, CFG, dominators, printer, verifier."""
+
+import pytest
+
+from repro.ir import (
+    BinOpKind,
+    Function,
+    FunctionType,
+    ICmpPred,
+    INT32,
+    INT8,
+    IntType,
+    IRBuilder,
+    Module,
+    PointerType,
+)
+from repro.ir.cfg import back_edges, has_loops, reachable_blocks, reverse_postorder
+from repro.ir.dominators import DominatorTree
+from repro.ir.printer import print_function, print_instruction, print_module
+from repro.ir.source import Origin, OriginKind, inline_origin, macro_origin
+from repro.ir.types import ArrayType, type_size_bytes, VoidType
+from repro.ir.values import Constant
+from repro.ir.verifier import VerificationError, verify_function, verify_module
+
+
+def make_function(name="f", params=(), return_type=INT32, param_names=()):
+    ftype = FunctionType(return_type, tuple(params))
+    return Function(name, ftype, param_names)
+
+
+def build_diamond():
+    """if (x < 10) y = 1; else y = 2; return y;"""
+    func = make_function(params=[INT32], param_names=["x"])
+    builder = IRBuilder(func)
+    x = func.argument("x")
+    then_bb = builder.new_block("then")
+    else_bb = builder.new_block("else")
+    join_bb = builder.new_block("join")
+    cond = builder.icmp(ICmpPred.SLT, x, builder.const_int(INT32, 10))
+    builder.cond_br(cond, then_bb, else_bb)
+    builder.set_block(then_bb)
+    builder.br(join_bb)
+    builder.set_block(else_bb)
+    builder.br(join_bb)
+    builder.set_block(join_bb)
+    phi = builder.phi(INT32, "y")
+    phi.add_incoming(Constant(INT32, 1), then_bb)
+    phi.add_incoming(Constant(INT32, 2), else_bb)
+    builder.ret(phi)
+    return func, then_bb, else_bb, join_bb
+
+
+class TestTypes:
+    def test_int_ranges(self):
+        assert INT32.min_value == -(2 ** 31)
+        assert INT32.max_value == 2 ** 31 - 1
+        assert INT8.as_unsigned().max_value == 255
+
+    def test_type_sizes(self):
+        assert type_size_bytes(INT32) == 4
+        assert type_size_bytes(PointerType(INT8)) == 8
+        assert type_size_bytes(ArrayType(INT32, 10)) == 40
+
+    def test_invalid_width_rejected(self):
+        with pytest.raises(ValueError):
+            IntType(0)
+
+    def test_void_has_no_width(self):
+        with pytest.raises(TypeError):
+            VoidType().bit_width
+
+
+class TestBuilderAndBlocks:
+    def test_straight_line_function(self):
+        func = make_function(params=[INT32, INT32], param_names=["a", "b"])
+        builder = IRBuilder(func)
+        total = builder.add(func.argument("a"), func.argument("b"))
+        builder.ret(total)
+        assert len(func.blocks) == 1
+        assert func.entry.is_terminated()
+        assert not verify_function(func)
+
+    def test_append_after_terminator_rejected(self):
+        func = make_function()
+        builder = IRBuilder(func)
+        builder.ret(builder.const_int(INT32, 0))
+        with pytest.raises(ValueError):
+            builder.add(builder.const_int(INT32, 1), builder.const_int(INT32, 2))
+
+    def test_names_are_unique(self):
+        func = make_function(params=[INT32], param_names=["x"])
+        builder = IRBuilder(func)
+        x = func.argument("x")
+        names = {builder.add(x, x).name for _ in range(10)}
+        assert len(names) == 10
+
+    def test_binop_width_mismatch_rejected(self):
+        func = make_function(params=[INT32, INT8], param_names=["a", "b"])
+        builder = IRBuilder(func)
+        with pytest.raises(TypeError):
+            builder.add(func.argument("a"), func.argument("b"))
+
+    def test_diamond_cfg_edges(self):
+        func, then_bb, else_bb, join_bb = build_diamond()
+        assert set(func.entry.successors()) == {then_bb, else_bb}
+        assert join_bb.predecessors() == [then_bb, else_bb]
+        assert not verify_function(func)
+
+    def test_origin_metadata_propagates(self):
+        func = make_function(params=[INT32], param_names=["x"])
+        builder = IRBuilder(func)
+        builder.set_origin(macro_origin("IS_A"))
+        inst = builder.add(func.argument("x"), builder.const_int(INT32, 1))
+        assert inst.origin.kind is OriginKind.MACRO
+        assert "IS_A" in inst.origin.describe()
+        assert inline_origin("callee").kind is OriginKind.INLINE
+
+
+class TestCFG:
+    def test_reverse_postorder_starts_at_entry(self):
+        func, *_ = build_diamond()
+        order = reverse_postorder(func)
+        assert order[0] is func.entry
+        assert len(order) == 4
+
+    def test_reachability(self):
+        func, *_ = build_diamond()
+        dead = func.add_block("dead")
+        builder = IRBuilder(func, dead)
+        builder.ret(builder.const_int(INT32, 0))
+        reachable = reachable_blocks(func)
+        assert id(dead) not in reachable
+        assert len(reachable) == 4
+
+    def test_loop_detection(self):
+        func = make_function(params=[INT32], param_names=["n"])
+        builder = IRBuilder(func)
+        header = builder.new_block("header")
+        body = builder.new_block("body")
+        exit_bb = builder.new_block("exit")
+        builder.br(header)
+        builder.set_block(header)
+        cond = builder.icmp(ICmpPred.SLT, func.argument("n"), builder.const_int(INT32, 10))
+        builder.cond_br(cond, body, exit_bb)
+        builder.set_block(body)
+        builder.br(header)
+        builder.set_block(exit_bb)
+        builder.ret(builder.const_int(INT32, 0))
+        assert has_loops(func)
+        assert len(back_edges(func)) == 1
+
+    def test_diamond_has_no_loops(self):
+        func, *_ = build_diamond()
+        assert not has_loops(func)
+
+
+class TestDominators:
+    def test_entry_dominates_everything(self):
+        func, then_bb, else_bb, join_bb = build_diamond()
+        dom = DominatorTree(func)
+        for block in (then_bb, else_bb, join_bb):
+            assert dom.dominates(func.entry, block)
+
+    def test_branches_do_not_dominate_join(self):
+        func, then_bb, else_bb, join_bb = build_diamond()
+        dom = DominatorTree(func)
+        assert not dom.dominates(then_bb, join_bb)
+        assert not dom.dominates(else_bb, join_bb)
+        assert dom.immediate_dominator(join_bb) is func.entry
+
+    def test_dominators_of_chain(self):
+        func, then_bb, _else_bb, join_bb = build_diamond()
+        dom = DominatorTree(func)
+        chain = dom.dominators_of(join_bb)
+        assert chain[0] is func.entry
+        assert chain[-1] is join_bb
+        assert then_bb not in chain
+
+    def test_dominating_instructions_within_block(self):
+        func = make_function(params=[INT32], param_names=["x"])
+        builder = IRBuilder(func)
+        x = func.argument("x")
+        first = builder.add(x, builder.const_int(INT32, 1))
+        second = builder.add(first, builder.const_int(INT32, 2))
+        builder.ret(second)
+        dom = DominatorTree(func)
+        doms = dom.dominating_instructions(second)
+        assert first in doms
+        assert second not in doms
+
+
+class TestPrinterAndVerifier:
+    def test_print_function_contains_blocks(self):
+        func, *_ = build_diamond()
+        text = print_function(func)
+        assert "define" in text
+        assert "icmp slt" in text
+        assert "phi" in text
+        assert text.count(":") >= 4
+
+    def test_print_module(self):
+        module = Module("m")
+        func, *_ = build_diamond()
+        module.add_function(func)
+        assert "; module m" in print_module(module)
+
+    def test_print_instruction_store(self):
+        func = make_function(params=[PointerType(INT32)], param_names=["p"])
+        builder = IRBuilder(func)
+        builder.store(builder.const_int(INT32, 3), func.argument("p"))
+        builder.ret(builder.const_int(INT32, 0))
+        text = print_function(func)
+        assert "store" in text
+
+    def test_verifier_catches_missing_terminator(self):
+        func = make_function()
+        func.add_block("entry")
+        problems = verify_function(func)
+        assert any("not terminated" in p for p in problems)
+
+    def test_verifier_catches_bad_phi(self):
+        func, then_bb, else_bb, join_bb = build_diamond()
+        phi = join_bb.phis()[0]
+        # Remove one incoming edge to make it inconsistent.
+        phi.incoming = phi.incoming[:1]
+        problems = verify_function(func)
+        assert any("missing an incoming value" in p for p in problems)
+
+    def test_verify_module_raises(self):
+        module = Module("broken")
+        func = make_function()
+        func.add_block("entry")
+        module.add_function(func)
+        with pytest.raises(VerificationError):
+            verify_module(module)
+
+    def test_duplicate_function_rejected(self):
+        module = Module()
+        func, *_ = build_diamond()
+        module.add_function(func)
+        with pytest.raises(ValueError):
+            module.add_function(func)

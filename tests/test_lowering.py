@@ -1,0 +1,297 @@
+"""Tests for AST→IR lowering, mem2reg promotion, and inlining."""
+
+import pytest
+
+from repro.frontend import analyze, parse
+from repro.ir.function import Module
+from repro.ir.instructions import (
+    Alloca,
+    BinaryOp,
+    BinOpKind,
+    Call,
+    CondBranch,
+    GetElementPtr,
+    ICmp,
+    ICmpPred,
+    Load,
+    Phi,
+    Return,
+    Store,
+)
+from repro.ir.printer import print_function
+from repro.ir.source import OriginKind
+from repro.ir.verifier import verify_module
+from repro.lower import inline_module, lower_translation_unit
+from repro.lower.lowering import ctype_to_irtype
+from repro.frontend.ctypes import CPointer, INT, LONG
+
+
+def lower(source: str, promote: bool = True) -> Module:
+    unit = analyze(parse(source))
+    module = lower_translation_unit(unit, promote=promote)
+    problems = verify_module(module, raise_on_error=False)
+    assert not problems, f"IR verification failed: {problems}"
+    return module
+
+
+def instructions_of(module: Module, name: str):
+    return list(module.get_function(name).instructions())
+
+
+class TestBasicLowering:
+    def test_simple_arithmetic_function(self):
+        module = lower("int add(int a, int b) { return a + b; }")
+        insts = instructions_of(module, "add")
+        assert any(isinstance(i, BinaryOp) and i.kind is BinOpKind.ADD for i in insts)
+        assert any(isinstance(i, Return) for i in insts)
+
+    def test_mem2reg_removes_scalar_allocas(self):
+        module = lower("int f(int a) { int b = a + 1; return b * 2; }")
+        insts = instructions_of(module, "f")
+        assert not any(isinstance(i, Alloca) for i in insts)
+        assert not any(isinstance(i, Load) for i in insts)
+
+    def test_without_promotion_allocas_remain(self):
+        module = lower("int f(int a) { int b = a + 1; return b; }", promote=False)
+        insts = instructions_of(module, "f")
+        assert any(isinstance(i, Alloca) for i in insts)
+        assert any(isinstance(i, Store) for i in insts)
+
+    def test_if_statement_creates_diamond(self):
+        module = lower("int f(int a) { if (a > 0) return 1; return 0; }")
+        func = module.get_function("f")
+        assert len(func.blocks) >= 3
+        assert any(isinstance(i, CondBranch) for i in func.instructions())
+
+    def test_signed_vs_unsigned_comparison_predicates(self):
+        module = lower("""
+            int f(int a, int b) { return a < b; }
+            int g(unsigned int a, unsigned int b) { return a < b; }
+        """)
+        f_cmps = [i for i in instructions_of(module, "f") if isinstance(i, ICmp)]
+        g_cmps = [i for i in instructions_of(module, "g") if isinstance(i, ICmp)]
+        assert f_cmps[0].pred is ICmpPred.SLT
+        assert g_cmps[0].pred is ICmpPred.ULT
+
+    def test_division_lowered_by_signedness(self):
+        module = lower("""
+            int f(int a, int b) { return a / b; }
+            unsigned int g(unsigned int a, unsigned int b) { return a % b; }
+        """)
+        assert any(isinstance(i, BinaryOp) and i.kind is BinOpKind.SDIV
+                   for i in instructions_of(module, "f"))
+        assert any(isinstance(i, BinaryOp) and i.kind is BinOpKind.UREM
+                   for i in instructions_of(module, "g"))
+
+    def test_pointer_arithmetic_becomes_gep(self):
+        module = lower("char *f(char *p, int n) { return p + n; }")
+        geps = [i for i in instructions_of(module, "f") if isinstance(i, GetElementPtr)]
+        assert geps
+        assert geps[0].element_size == 1
+
+    def test_member_access_is_gep_plus_load(self):
+        module = lower("""
+            struct sock { int fd; };
+            struct tun_struct { struct sock *sk; int flags; };
+            int f(struct tun_struct *tun) { return tun->flags; }
+        """)
+        insts = instructions_of(module, "f")
+        geps = [i for i in insts if isinstance(i, GetElementPtr)]
+        loads = [i for i in insts if isinstance(i, Load)]
+        assert geps and loads
+        # flags is at offset 8 (after the 8-byte pointer sk)
+        assert any(getattr(g.index, "value", None) == 8 for g in geps)
+
+    def test_array_index_records_capacity(self):
+        module = lower("int f(int i) { int a[10]; return a[i]; }")
+        geps = [i for i in instructions_of(module, "f") if isinstance(i, GetElementPtr)]
+        assert any(g.array_size == 10 for g in geps)
+
+    def test_call_lowered_with_args(self):
+        module = lower("int f(int x) { return abs(x); }")
+        calls = [i for i in instructions_of(module, "f") if isinstance(i, Call)]
+        assert calls and calls[0].callee == "abs"
+        assert len(calls[0].args) == 1
+
+    def test_string_literals_get_distinct_nonnull_addresses(self):
+        module = lower('int f(void) { return strcmp("a", "b"); }')
+        calls = [i for i in instructions_of(module, "f") if isinstance(i, Call)]
+        args = calls[0].args
+        assert args[0].value != 0 and args[1].value != 0
+        assert args[0].value != args[1].value
+
+    def test_loop_produces_phi_after_promotion(self):
+        module = lower("""
+            int sum(int n) {
+                int total = 0;
+                for (int i = 0; i < n; i = i + 1)
+                    total = total + i;
+                return total;
+            }
+        """)
+        insts = instructions_of(module, "sum")
+        assert any(isinstance(i, Phi) for i in insts)
+
+    def test_logical_and_short_circuits(self):
+        module = lower("int f(int a, int b) { if (a > 0 && b > 0) return 1; return 0; }")
+        func = module.get_function("f")
+        # Short-circuit lowering introduces extra blocks beyond a plain if.
+        assert len(func.blocks) >= 5
+
+    def test_ternary_produces_phi(self):
+        module = lower("int f(int a) { return a > 0 ? a : -a; }")
+        insts = instructions_of(module, "f")
+        assert any(isinstance(i, Phi) for i in insts)
+
+    def test_compound_assignment(self):
+        module = lower("int f(int a) { a += 5; return a; }")
+        insts = instructions_of(module, "f")
+        assert any(isinstance(i, BinaryOp) and i.kind is BinOpKind.ADD for i in insts)
+
+    def test_prepost_increment_semantics(self):
+        module = lower("""
+            int pre(int a) { return ++a; }
+            int post(int a) { int old = a++; return old; }
+        """)
+        assert module.get_function("pre") is not None
+        assert module.get_function("post") is not None
+
+    def test_while_loop_and_break(self):
+        module = lower("""
+            int f(int n) {
+                while (1) {
+                    if (n > 10) break;
+                    n = n + 1;
+                }
+                return n;
+            }
+        """)
+        assert module.get_function("f") is not None
+
+    def test_goto_and_label(self):
+        module = lower("""
+            int f(int n) {
+                if (n < 0) goto fail;
+                return n;
+            fail:
+                return -1;
+            }
+        """)
+        func = module.get_function("f")
+        assert any(b.name.startswith("label.") for b in func.blocks)
+
+    def test_implicit_widening_inserts_cast(self):
+        module = lower("long f(int a) { long b = a; return b; }")
+        text = print_function(module.get_function("f"))
+        assert "sext" in text
+
+    def test_macro_origin_survives_to_ir(self):
+        module = lower("""
+            #define IS_NULL(p) ((p) == 0)
+            int f(int *p) { if (IS_NULL(p)) return -1; return *p; }
+        """)
+        insts = instructions_of(module, "f")
+        macro_tagged = [i for i in insts if i.origin.kind is OriginKind.MACRO]
+        assert macro_tagged
+        assert all(i.origin.detail == "IS_NULL" for i in macro_tagged)
+
+    def test_ctype_mapping(self):
+        assert ctype_to_irtype(INT).bit_width == 32
+        assert ctype_to_irtype(LONG).bit_width == 64
+        assert ctype_to_irtype(CPointer(INT)).is_pointer()
+
+
+class TestFigureExamples:
+    """The paper's running examples must lower cleanly."""
+
+    def test_figure1_pointer_overflow_check(self):
+        module = lower("""
+            int check(char *buf, char *buf_end, unsigned int len) {
+                if (buf + len >= buf_end)
+                    return -1;
+                if (buf + len < buf)
+                    return -1;
+                return 0;
+            }
+        """)
+        insts = instructions_of(module, "check")
+        assert sum(1 for i in insts if isinstance(i, GetElementPtr)) >= 2
+
+    def test_figure2_null_check_after_dereference(self):
+        module = lower("""
+            struct sock { int fd; };
+            struct tun_struct { struct sock *sk; };
+            int poll(struct tun_struct *tun) {
+                struct sock *sk = tun->sk;
+                if (!tun)
+                    return 1;
+                return 0;
+            }
+        """)
+        func = module.get_function("poll")
+        loads = [i for i in func.instructions() if isinstance(i, Load)]
+        assert loads  # the tun->sk dereference survives promotion
+
+    def test_figure10_postgres_division(self):
+        module = lower("""
+            int64_t safe_div(int64_t arg1, int64_t arg2) {
+                if (arg2 == 0)
+                    return 0;
+                int64_t result = arg1 / arg2;
+                if (arg2 == -1 && arg1 < 0 && result <= 0)
+                    return 0;
+                return result;
+            }
+        """)
+        insts = instructions_of(module, "safe_div")
+        assert any(isinstance(i, BinaryOp) and i.kind is BinOpKind.SDIV for i in insts)
+
+
+class TestInlining:
+    def test_simple_call_is_inlined(self):
+        unit = analyze(parse("""
+            static int helper(int x) { return x + 1; }
+            int caller(int a) { return helper(a) * 2; }
+        """))
+        module = lower_translation_unit(unit)
+        count = inline_module(module)
+        assert count == 1
+        caller = module.get_function("caller")
+        assert not any(isinstance(i, Call) and i.callee == "helper"
+                       for i in caller.instructions())
+
+    def test_inlined_instructions_tagged(self):
+        unit = analyze(parse("""
+            static int helper(int x) { return x + 1; }
+            int caller(int a) { return helper(a); }
+        """))
+        module = lower_translation_unit(unit)
+        inline_module(module)
+        caller = module.get_function("caller")
+        inlined = [i for i in caller.instructions()
+                   if i.origin.kind is OriginKind.INLINE]
+        assert inlined
+        assert all(i.origin.detail == "helper" for i in inlined)
+
+    def test_recursive_functions_not_inlined(self):
+        unit = analyze(parse("""
+            int fact(int n) { if (n <= 1) return 1; return n * fact(n - 1); }
+            int caller(int a) { return fact(a); }
+        """))
+        module = lower_translation_unit(unit)
+        count = inline_module(module)
+        assert count == 0
+
+    def test_external_calls_left_alone(self):
+        unit = analyze(parse("int f(int a) { return abs(a); }"))
+        module = lower_translation_unit(unit)
+        assert inline_module(module) == 0
+
+    def test_inlined_module_still_verifies(self):
+        unit = analyze(parse("""
+            static int clamp(int x) { if (x > 100) return 100; return x; }
+            int caller(int a, int b) { return clamp(a) + clamp(b); }
+        """))
+        module = lower_translation_unit(unit)
+        inline_module(module)
+        assert not verify_module(module, raise_on_error=False)

@@ -1,0 +1,183 @@
+"""Unit tests for the CDCL SAT solver (repro.solver.sat)."""
+
+import random
+
+import pytest
+
+from repro.solver.sat import SatResult, SatSolver
+
+
+def make_vars(solver, count):
+    return [solver.new_var() for _ in range(count)]
+
+
+class TestBasics:
+    def test_empty_formula_is_sat(self):
+        assert SatSolver().solve() is SatResult.SAT
+
+    def test_unit_clause(self):
+        s = SatSolver()
+        x = s.new_var()
+        s.add_clause([x])
+        assert s.solve() is SatResult.SAT
+        assert s.model_value(x) is True
+
+    def test_contradictory_units(self):
+        s = SatSolver()
+        x = s.new_var()
+        s.add_clause([x])
+        s.add_clause([-x])
+        assert s.solve() is SatResult.UNSAT
+
+    def test_empty_clause_is_unsat(self):
+        s = SatSolver()
+        s.new_var()
+        assert s.add_clause([]) is False
+        assert s.solve() is SatResult.UNSAT
+
+    def test_simple_implication_chain(self):
+        s = SatSolver()
+        a, b, c = make_vars(s, 3)
+        s.add_clause([-a, b])
+        s.add_clause([-b, c])
+        s.add_clause([a])
+        assert s.solve() is SatResult.SAT
+        assert s.model_value(a) and s.model_value(b) and s.model_value(c)
+
+    def test_tautology_clause_ignored(self):
+        s = SatSolver()
+        a = s.new_var()
+        s.add_clause([a, -a])
+        assert s.solve() is SatResult.SAT
+
+
+class TestKnownFormulas:
+    def test_xor_chain_sat(self):
+        # (a xor b) encoded as CNF, plus a forced
+        s = SatSolver()
+        a, b = make_vars(s, 2)
+        s.add_clause([a, b])
+        s.add_clause([-a, -b])
+        s.add_clause([a])
+        assert s.solve() is SatResult.SAT
+        assert s.model_value(a) is True
+        assert s.model_value(b) is False
+
+    def test_pigeonhole_3_into_2_unsat(self):
+        # 3 pigeons, 2 holes: var p_{i,j} means pigeon i in hole j.
+        s = SatSolver()
+        p = [[s.new_var() for _ in range(2)] for _ in range(3)]
+        for i in range(3):
+            s.add_clause([p[i][0], p[i][1]])
+        for j in range(2):
+            for i1 in range(3):
+                for i2 in range(i1 + 1, 3):
+                    s.add_clause([-p[i1][j], -p[i2][j]])
+        assert s.solve() is SatResult.UNSAT
+
+    def test_php_4_into_3_unsat(self):
+        s = SatSolver()
+        n_pigeons, n_holes = 4, 3
+        p = [[s.new_var() for _ in range(n_holes)] for _ in range(n_pigeons)]
+        for i in range(n_pigeons):
+            s.add_clause([p[i][j] for j in range(n_holes)])
+        for j in range(n_holes):
+            for i1 in range(n_pigeons):
+                for i2 in range(i1 + 1, n_pigeons):
+                    s.add_clause([-p[i1][j], -p[i2][j]])
+        assert s.solve() is SatResult.UNSAT
+
+    def test_graph_coloring_triangle_two_colors_unsat(self):
+        # A triangle cannot be 2-colored.
+        s = SatSolver()
+        color = [[s.new_var() for _ in range(2)] for _ in range(3)]
+        edges = [(0, 1), (1, 2), (0, 2)]
+        for v in range(3):
+            s.add_clause([color[v][0], color[v][1]])
+            s.add_clause([-color[v][0], -color[v][1]])
+        for u, v in edges:
+            for c in range(2):
+                s.add_clause([-color[u][c], -color[v][c]])
+        assert s.solve() is SatResult.UNSAT
+
+    def test_graph_coloring_triangle_three_colors_sat(self):
+        s = SatSolver()
+        color = [[s.new_var() for _ in range(3)] for _ in range(3)]
+        edges = [(0, 1), (1, 2), (0, 2)]
+        for v in range(3):
+            s.add_clause([color[v][c] for c in range(3)])
+        for u, v in edges:
+            for c in range(3):
+                s.add_clause([-color[u][c], -color[v][c]])
+        assert s.solve() is SatResult.SAT
+        model = s.model()
+        for u, v in edges:
+            colors_u = {c for c in range(3) if model[color[u][c]]}
+            colors_v = {c for c in range(3) if model[color[v][c]]}
+            assert colors_u.isdisjoint(colors_v) or not (colors_u & colors_v)
+
+
+class TestModelSoundness:
+    def _check_model_satisfies(self, clauses, model):
+        for clause in clauses:
+            satisfied = any(
+                (lit > 0) == model[abs(lit)] for lit in clause
+            )
+            assert satisfied, f"clause {clause} not satisfied by model"
+
+    @pytest.mark.parametrize("seed", range(6))
+    def test_random_3sat_models_are_valid(self, seed):
+        rng = random.Random(seed)
+        n_vars, n_clauses = 20, 60
+        s = SatSolver()
+        variables = make_vars(s, n_vars)
+        clauses = []
+        for _ in range(n_clauses):
+            chosen = rng.sample(variables, 3)
+            clause = [v if rng.random() < 0.5 else -v for v in chosen]
+            clauses.append(clause)
+            s.add_clause(clause)
+        result = s.solve()
+        if result is SatResult.SAT:
+            self._check_model_satisfies(clauses, s.model())
+        else:
+            assert result is SatResult.UNSAT
+
+    def test_random_unsat_by_all_polarities(self):
+        # For 3 variables, adding all 8 sign combinations of a clause is UNSAT.
+        s = SatSolver()
+        a, b, c = make_vars(s, 3)
+        for mask in range(8):
+            clause = [
+                a if mask & 1 else -a,
+                b if mask & 2 else -b,
+                c if mask & 4 else -c,
+            ]
+            s.add_clause(clause)
+        assert s.solve() is SatResult.UNSAT
+
+
+class TestResourceLimits:
+    def test_conflict_budget_returns_unknown(self):
+        # A hard pigeonhole instance with a tiny conflict budget.
+        s = SatSolver()
+        n_pigeons, n_holes = 7, 6
+        p = [[s.new_var() for _ in range(n_holes)] for _ in range(n_pigeons)]
+        for i in range(n_pigeons):
+            s.add_clause([p[i][j] for j in range(n_holes)])
+        for j in range(n_holes):
+            for i1 in range(n_pigeons):
+                for i2 in range(i1 + 1, n_pigeons):
+                    s.add_clause([-p[i1][j], -p[i2][j]])
+        result = s.solve(max_conflicts=5)
+        assert result in (SatResult.UNKNOWN, SatResult.UNSAT)
+
+    def test_statistics_are_tracked(self):
+        s = SatSolver()
+        a, b = make_vars(s, 2)
+        s.add_clause([a, b])
+        s.add_clause([-a, b])
+        s.add_clause([a, -b])
+        s.solve()
+        assert s.propagations >= 0
+        assert s.decisions >= 0

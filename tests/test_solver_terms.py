@@ -1,0 +1,172 @@
+"""Unit tests for the bit-vector term DAG (repro.solver.terms)."""
+
+import pytest
+
+from repro.solver.terms import BOOL, BV, Op, TermManager, collect_variables
+
+
+@pytest.fixture()
+def mgr():
+    return TermManager()
+
+
+class TestSorts:
+    def test_bool_sort(self):
+        assert BOOL.is_bool()
+        assert not BOOL.is_bv()
+
+    def test_bv_sort(self):
+        assert BV(32).is_bv()
+        assert BV(32).width == 32
+
+    def test_bv_sort_rejects_nonpositive_width(self):
+        with pytest.raises(ValueError):
+            BV(0)
+        with pytest.raises(ValueError):
+            BV(-4)
+
+
+class TestHashConsing:
+    def test_constants_are_shared(self, mgr):
+        assert mgr.bv_const(5, 8) is mgr.bv_const(5, 8)
+        assert mgr.true() is mgr.bool_const(True)
+
+    def test_variables_are_shared(self, mgr):
+        assert mgr.bv_var("x", 16) is mgr.bv_var("x", 16)
+
+    def test_different_width_constants_differ(self, mgr):
+        assert mgr.bv_const(5, 8) is not mgr.bv_const(5, 16)
+
+    def test_commutative_normalisation(self, mgr):
+        x = mgr.bv_var("x", 8)
+        y = mgr.bv_var("y", 8)
+        assert mgr.bvadd(x, y) is mgr.bvadd(y, x)
+        assert mgr.and_(mgr.bool_var("a"), mgr.bool_var("b")) is \
+            mgr.and_(mgr.bool_var("b"), mgr.bool_var("a"))
+
+
+class TestConstantFolding:
+    def test_add_wraps(self, mgr):
+        a = mgr.bv_const(250, 8)
+        b = mgr.bv_const(10, 8)
+        assert mgr.bvadd(a, b).value == (250 + 10) % 256
+
+    def test_sub_wraps(self, mgr):
+        assert mgr.bvsub(mgr.bv_const(0, 8), mgr.bv_const(1, 8)).value == 255
+
+    def test_mul_wraps(self, mgr):
+        assert mgr.bvmul(mgr.bv_const(16, 8), mgr.bv_const(17, 8)).value == (16 * 17) % 256
+
+    def test_udiv_by_zero_is_all_ones(self, mgr):
+        assert mgr.bvudiv(mgr.bv_const(7, 8), mgr.bv_const(0, 8)).value == 255
+
+    def test_sdiv_signs(self, mgr):
+        # -6 / 4 == -1 (truncating toward zero)
+        result = mgr.bvsdiv(mgr.bv_const(-6, 8), mgr.bv_const(4, 8))
+        assert result.value == (-1) & 0xFF
+
+    def test_srem_sign_follows_dividend(self, mgr):
+        result = mgr.bvsrem(mgr.bv_const(-7, 8), mgr.bv_const(4, 8))
+        assert result.value == (-3) & 0xFF
+
+    def test_shift_oversized_is_zero(self, mgr):
+        assert mgr.bvshl(mgr.bv_const(1, 8), mgr.bv_const(9, 8)).value == 0
+        assert mgr.bvlshr(mgr.bv_const(128, 8), mgr.bv_const(9, 8)).value == 0
+
+    def test_ashr_keeps_sign(self, mgr):
+        assert mgr.bvashr(mgr.bv_const(0x80, 8), mgr.bv_const(2, 8)).value == 0xE0
+
+    def test_signed_compare(self, mgr):
+        assert mgr.bvslt(mgr.bv_const(0xFF, 8), mgr.bv_const(1, 8)).value is True
+        assert mgr.bvult(mgr.bv_const(0xFF, 8), mgr.bv_const(1, 8)).value is False
+
+    def test_concat_extract(self, mgr):
+        c = mgr.concat(mgr.bv_const(0xAB, 8), mgr.bv_const(0xCD, 8))
+        assert c.width == 16 and c.value == 0xABCD
+        assert mgr.extract(c, 15, 8).value == 0xAB
+
+    def test_zext_sext(self, mgr):
+        assert mgr.zext(mgr.bv_const(0x80, 8), 8).value == 0x80
+        assert mgr.sext(mgr.bv_const(0x80, 8), 8).value == 0xFF80
+
+
+class TestStructuralRewrites:
+    def test_add_zero_identity(self, mgr):
+        x = mgr.bv_var("x", 32)
+        assert mgr.bvadd(x, mgr.bv_const(0, 32)) is x
+
+    def test_self_subtraction_is_zero(self, mgr):
+        x = mgr.bv_var("x", 32)
+        assert mgr.bvsub(x, x).value == 0
+
+    def test_double_negation(self, mgr):
+        a = mgr.bool_var("a")
+        assert mgr.not_(mgr.not_(a)) is a
+
+    def test_and_contradiction(self, mgr):
+        a = mgr.bool_var("a")
+        assert mgr.and_(a, mgr.not_(a)).value is False
+
+    def test_or_excluded_middle(self, mgr):
+        a = mgr.bool_var("a")
+        assert mgr.or_(a, mgr.not_(a)).value is True
+
+    def test_eq_reflexive(self, mgr):
+        x = mgr.bv_var("x", 8)
+        assert mgr.eq(x, x).value is True
+
+    def test_ule_reflexive(self, mgr):
+        x = mgr.bv_var("x", 8)
+        assert mgr.bvule(x, x).value is True
+        assert mgr.bvult(x, x).value is False
+
+    def test_ite_constant_condition(self, mgr):
+        x = mgr.bv_var("x", 8)
+        y = mgr.bv_var("y", 8)
+        assert mgr.ite(mgr.true(), x, y) is x
+        assert mgr.ite(mgr.false(), x, y) is y
+
+
+class TestTypeChecking:
+    def test_mismatched_widths_rejected(self, mgr):
+        with pytest.raises(TypeError):
+            mgr.bvadd(mgr.bv_var("x", 8), mgr.bv_var("y", 16))
+
+    def test_bool_in_arith_rejected(self, mgr):
+        with pytest.raises(TypeError):
+            mgr.bvadd(mgr.bool_var("a"), mgr.bool_var("b"))
+
+    def test_bv_in_and_rejected(self, mgr):
+        with pytest.raises(TypeError):
+            mgr.and_(mgr.bv_var("x", 8), mgr.bool_var("a"))
+
+    def test_extract_bounds_checked(self, mgr):
+        with pytest.raises(ValueError):
+            mgr.extract(mgr.bv_var("x", 8), 8, 0)
+
+
+class TestEvaluation:
+    def test_evaluate_arith(self, mgr):
+        x = mgr.bv_var("x", 8)
+        y = mgr.bv_var("y", 8)
+        expr = mgr.bvadd(mgr.bvmul(x, y), mgr.bv_const(3, 8))
+        assert mgr.evaluate(expr, {"x": 5, "y": 7}) == (5 * 7 + 3) % 256
+
+    def test_evaluate_compare(self, mgr):
+        x = mgr.bv_var("x", 8)
+        expr = mgr.bvslt(x, mgr.bv_const(0, 8))
+        assert mgr.evaluate(expr, {"x": 0x90}) is True
+        assert mgr.evaluate(expr, {"x": 0x10}) is False
+
+    def test_evaluate_missing_variable_raises(self, mgr):
+        x = mgr.bv_var("x", 8)
+        with pytest.raises(KeyError):
+            mgr.evaluate(x, {})
+
+    def test_collect_variables(self, mgr):
+        x = mgr.bv_var("x", 8)
+        b = mgr.bool_var("b")
+        expr = mgr.and_(b, mgr.bvult(x, mgr.bv_const(3, 8)))
+        variables = collect_variables(expr)
+        assert set(variables) == {"x", "b"}
+        assert variables["x"].width == 8
