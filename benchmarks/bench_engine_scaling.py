@@ -1,0 +1,46 @@
+"""Engine scaling smoke benchmark: sequential vs. multi-worker wall-clock.
+
+A CI-friendly target that records how the corpus-checking engine behaves as
+workers are added, on a corpus small enough to finish in seconds.  Both runs
+land in the ``BENCH_*`` trajectory so regressions in either path show up;
+the shape assertion is result equivalence, not a speedup (a 2-worker pool
+on a loaded CI box may not beat a warm sequential loop at this corpus size).
+"""
+
+from repro.api import check_corpus
+from repro.corpus.snippets import SNIPPETS, STABLE_SNIPPETS
+
+
+def _corpus():
+    """A small mixed corpus: every other unstable template plus stable padding."""
+    snippets = SNIPPETS[::2] + STABLE_SNIPPETS[::2]
+    return [(s.name, s.render("scale")) for s in snippets]
+
+
+def _signature(result):
+    return sorted(
+        (d.function, str(d.location), d.algorithm.value,
+         tuple(sorted(k.value for k in set(d.ub_kinds))))
+        for d in result.bugs)
+
+
+def test_engine_sequential(once):
+    result = once(check_corpus, _corpus(), workers=0)
+    assert result.stats.units == len(_corpus())
+    assert result.stats.failed_units == 0
+    assert result.stats.diagnostics > 0
+    print()
+    print(f"sequential: {result.stats.as_dict()}")
+
+
+def test_engine_parallel(once, engine_workers):
+    # --engine-workers 0/1 forces this benchmark sequential too (CI escape
+    # hatch for boxes where forking a pool is unavailable or too slow).
+    workers = engine_workers if engine_workers > 1 else 0
+    result = once(check_corpus, _corpus(), workers=workers)
+    assert result.stats.units == len(_corpus())
+    assert result.stats.failed_units == 0
+    # Parallel fan-out must not change what the checker reports.
+    assert _signature(result) == _signature(check_corpus(_corpus(), workers=0))
+    print()
+    print(f"{workers} workers: {result.stats.as_dict()}")

@@ -1,10 +1,14 @@
-"""Figure 16: checker performance on scaled Kerberos/Postgres/Linux corpora."""
+"""Figure 16: checker performance on scaled Kerberos/Postgres/Linux corpora.
+
+The analysis phase runs through the parallel corpus-checking engine
+(``repro.engine``); ``--engine-workers`` controls the fan-out.
+"""
 
 from repro.experiments.fig16 import run_figure16
 
 
-def test_figure16_performance(once):
-    result = once(run_figure16, scale=0.004)
+def test_figure16_performance(once, engine_workers):
+    result = once(run_figure16, scale=0.004, workers=engine_workers)
     print()
     print(result.render())
 

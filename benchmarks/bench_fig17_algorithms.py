@@ -5,8 +5,8 @@ from repro.corpus.debian import PAPER_C_PACKAGES, PAPER_PACKAGES_WITH_REPORTS
 from repro.experiments.debian_prevalence import run_prevalence
 
 
-def test_figure17_reports_per_algorithm(once):
-    result = once(run_prevalence, sample_size=60)
+def test_figure17_reports_per_algorithm(once, engine_workers):
+    result = once(run_prevalence, sample_size=60, workers=engine_workers)
     print()
     print(result.render_figure17())
 

@@ -4,9 +4,24 @@ Every benchmark regenerates one table or figure of the paper.  The heavy
 experiments run exactly once per benchmark (rounds=1) — the interesting
 output is the regenerated table and the shape assertions, not nanosecond
 timing stability.
+
+``--engine-workers`` selects how many worker processes the engine-backed
+benchmarks fan out over (default 2; pass 0 to force sequential runs).
 """
 
 import pytest
+
+
+def pytest_addoption(parser):
+    parser.addoption(
+        "--engine-workers", action="store", type=int, default=2,
+        help="worker processes for engine-backed benchmarks (0 = sequential)")
+
+
+@pytest.fixture
+def engine_workers(request):
+    """Worker count for CheckEngine-backed benchmarks."""
+    return request.config.getoption("--engine-workers")
 
 
 @pytest.fixture

@@ -13,6 +13,8 @@ This package re-implements the full system in Python:
 * :mod:`repro.compilers` — simulated compiler profiles used for the paper's
   compiler survey (Figure 4),
 * :mod:`repro.corpus` — the paper's code snippets and synthetic corpora,
+* :mod:`repro.engine` — the parallel corpus-checking engine (worker pool,
+  solver-query cache, timeout escalation, JSONL result streaming),
 * :mod:`repro.experiments` — drivers that regenerate every table and figure.
 
 Quickstart::
@@ -34,25 +36,37 @@ __version__ = "1.0.0"
 
 __all__ = [
     "BugReport",
+    "CheckEngine",
     "CheckerConfig",
     "Diagnostic",
+    "EngineConfig",
+    "EngineResult",
+    "SolverQueryCache",
     "StackChecker",
+    "check_corpus",
     "check_function",
     "check_module",
+    "check_modules_parallel",
     "check_source",
     "compile_source",
     "__version__",
 ]
 
 _LAZY_ATTRS = {
+    "check_corpus": ("repro.api", "check_corpus"),
     "check_function": ("repro.api", "check_function"),
     "check_module": ("repro.api", "check_module"),
+    "check_modules_parallel": ("repro.api", "check_modules_parallel"),
     "check_source": ("repro.api", "check_source"),
     "compile_source": ("repro.api", "compile_source"),
     "StackChecker": ("repro.core.checker", "StackChecker"),
     "CheckerConfig": ("repro.core.checker", "CheckerConfig"),
     "BugReport": ("repro.core.report", "BugReport"),
     "Diagnostic": ("repro.core.report", "Diagnostic"),
+    "CheckEngine": ("repro.engine.engine", "CheckEngine"),
+    "EngineConfig": ("repro.engine.engine", "EngineConfig"),
+    "EngineResult": ("repro.engine.engine", "EngineResult"),
+    "SolverQueryCache": ("repro.engine.cache", "SolverQueryCache"),
 }
 
 

@@ -11,11 +11,19 @@ Typical use::
     report = check_source(POINTER_OVERFLOW_SNIPPET)
     for bug in report.bugs:
         print(bug.describe())
+
+For corpus-scale work the engine entry points fan translation units out over
+a worker pool with a shared solver-query cache::
+
+    from repro import check_corpus
+
+    result = check_corpus([("unit0", SOURCE0), ("unit1", SOURCE1)], workers=4)
+    print(result.stats.as_dict())
 """
 
 from __future__ import annotations
 
-from typing import Optional
+from typing import Iterable, Optional, Tuple, Union
 
 from repro.core.checker import CheckerConfig, StackChecker
 from repro.core.report import BugReport, FunctionReport
@@ -34,21 +42,73 @@ def compile_source(source: str, filename: str = "<input>",
     return lower_translation_unit(unit, module_name=filename, promote=promote)
 
 
-def check_module(module: Module, config: Optional[CheckerConfig] = None) -> BugReport:
+def check_module(module: Module, config: Optional[CheckerConfig] = None,
+                 cache: Optional["SolverQueryCache"] = None) -> BugReport:
     """Run the STACK checker over an already-compiled IR module."""
-    checker = StackChecker(config)
+    checker = StackChecker(config, query_cache=cache)
     return checker.check_module(module)
 
 
 def check_function(function: Function,
-                   config: Optional[CheckerConfig] = None) -> FunctionReport:
+                   config: Optional[CheckerConfig] = None,
+                   cache: Optional["SolverQueryCache"] = None) -> FunctionReport:
     """Run the STACK checker over a single IR function."""
-    checker = StackChecker(config)
+    checker = StackChecker(config, query_cache=cache)
     return checker.check_function(function)
 
 
 def check_source(source: str, filename: str = "<input>",
-                 config: Optional[CheckerConfig] = None) -> BugReport:
+                 config: Optional[CheckerConfig] = None,
+                 cache: Optional["SolverQueryCache"] = None) -> BugReport:
     """Compile ``source`` and check it for unstable code in one call."""
     module = compile_source(source, filename)
-    return check_module(module, config)
+    return check_module(module, config, cache=cache)
+
+
+# -- corpus-scale entry points (repro.engine) ---------------------------------------
+
+
+def _engine(config: Optional[CheckerConfig], workers: int,
+            cache_path: Optional[str], results_path: Optional[str],
+            engine_config: Optional["EngineConfig"]) -> "CheckEngine":
+    from repro.engine.engine import CheckEngine, EngineConfig
+
+    if engine_config is None:
+        engine_config = EngineConfig(
+            workers=workers,
+            checker=config if config is not None else CheckerConfig(),
+            cache_path=cache_path,
+            results_path=results_path,
+        )
+    return CheckEngine(engine_config)
+
+
+def check_corpus(sources: Iterable[Union[Tuple[str, str], str, "WorkUnit"]],
+                 config: Optional[CheckerConfig] = None,
+                 workers: int = 0,
+                 cache_path: Optional[str] = None,
+                 results_path: Optional[str] = None,
+                 engine_config: Optional["EngineConfig"] = None) -> "EngineResult":
+    """Check a corpus of translation units through the engine.
+
+    ``sources`` yields ``(name, source)`` pairs (or bare source strings /
+    prepared :class:`~repro.engine.workunit.WorkUnit` objects).  With
+    ``workers > 1`` units are checked by a process pool; verdicts are shared
+    through the solver-query cache and, when ``cache_path`` is given,
+    persisted so a rerun starts warm.  Pass ``engine_config`` instead for
+    full control over every knob (see docs/ENGINE.md).
+    """
+    engine = _engine(config, workers, cache_path, results_path, engine_config)
+    return engine.check_corpus(sources)
+
+
+def check_modules_parallel(modules: Iterable[Module],
+                           config: Optional[CheckerConfig] = None,
+                           workers: int = 2,
+                           cache_path: Optional[str] = None,
+                           results_path: Optional[str] = None,
+                           engine_config: Optional["EngineConfig"] = None,
+                           ) -> "EngineResult":
+    """Check already-lowered IR modules through the engine worker pool."""
+    engine = _engine(config, workers, cache_path, results_path, engine_config)
+    return engine.check_modules(modules)

@@ -14,7 +14,7 @@ Stage 1 — the frontend — lives in :mod:`repro.frontend` / :mod:`repro.lower`
 from __future__ import annotations
 
 import time
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, fields
 from typing import List, Optional, Sequence
 
 from repro.core.classify import classify_all
@@ -67,12 +67,37 @@ class CheckerConfig:
     #: Classify diagnostics into the §6.2 taxonomy.
     classify: bool = True
 
+    def describe(self) -> str:
+        """Render the active configuration for reports and logs.
+
+        One ``name = value`` line per field; nested encoder options are
+        flattened with an ``encoder.`` prefix.  ``docs/ENGINE.md`` carries the
+        paper citation for every field.
+        """
+        lines = ["CheckerConfig:"]
+        for config_field in fields(self):
+            value = getattr(self, config_field.name)
+            if isinstance(value, EncoderOptions):
+                for option_field in fields(value):
+                    lines.append(f"  encoder.{option_field.name} = "
+                                 f"{getattr(value, option_field.name)!r}")
+                continue
+            lines.append(f"  {config_field.name} = {value!r}")
+        return "\n".join(lines)
+
 
 class StackChecker:
-    """Detects optimization-unstable code in IR modules."""
+    """Detects optimization-unstable code in IR modules.
 
-    def __init__(self, config: Optional[CheckerConfig] = None) -> None:
+    ``query_cache`` (a :class:`~repro.engine.cache.SolverQueryCache`) is
+    shared by every function this checker analyzes: structurally identical
+    solver queries are answered once and replayed thereafter.
+    """
+
+    def __init__(self, config: Optional[CheckerConfig] = None,
+                 query_cache: Optional["SolverQueryCache"] = None) -> None:
         self.config = config if config is not None else CheckerConfig()
+        self.query_cache = query_cache
 
     # -- public API ----------------------------------------------------------------
 
@@ -92,7 +117,8 @@ class StackChecker:
         started = time.monotonic()
         encoder = FunctionEncoder(function, options=self.config.encoder_options)
         engine = QueryEngine(encoder, timeout=self.config.solver_timeout,
-                             max_conflicts=self.config.max_conflicts)
+                             max_conflicts=self.config.max_conflicts,
+                             cache=self.query_cache)
         result = FunctionReport(function=function.name)
 
         elimination_findings: List[EliminationFinding] = []
@@ -140,6 +166,7 @@ class StackChecker:
         result.diagnostics = diagnostics
         result.suppressed_compiler_origin = suppressed
         result.queries = engine.stats.queries
+        result.cache_hits = engine.stats.cache_hits
         result.timeouts = engine.stats.timeouts
         result.analysis_time = time.monotonic() - started
         return result

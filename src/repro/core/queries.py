@@ -6,6 +6,13 @@ small), conjoins the auxiliary definitions the encoder registered for the
 variables mentioned, applies the per-query timeout (the paper uses 5 s with
 Boolector), and tracks the counters reported in Figure 16 (#queries and
 #query timeouts).
+
+When a :class:`~repro.engine.cache.SolverQueryCache` is attached, every
+query is first content-addressed (structural hash of the query terms plus
+their auxiliary definitions) and looked up; a hit replays the cached verdict
+without building a solver.  ``stats.queries`` keeps counting every question
+asked — the Figure 16 number — while ``stats.solver_queries`` counts only the
+questions that actually reached the solver.
 """
 
 from __future__ import annotations
@@ -26,13 +33,20 @@ class QueryStats:
     timeouts: int = 0
     sat: int = 0
     unsat: int = 0
+    cache_hits: int = 0
     total_time: float = 0.0
+
+    @property
+    def solver_queries(self) -> int:
+        """Queries that reached the solver (total minus cache replays)."""
+        return self.queries - self.cache_hits
 
     def merge(self, other: "QueryStats") -> None:
         self.queries += other.queries
         self.timeouts += other.timeouts
         self.sat += other.sat
         self.unsat += other.unsat
+        self.cache_hits += other.cache_hits
         self.total_time += other.total_time
 
 
@@ -40,10 +54,12 @@ class QueryEngine:
     """Issues satisfiability queries for one function's encoder."""
 
     def __init__(self, encoder: FunctionEncoder, timeout: Optional[float] = 5.0,
-                 max_conflicts: Optional[int] = 50_000) -> None:
+                 max_conflicts: Optional[int] = 50_000,
+                 cache: Optional["SolverQueryCache"] = None) -> None:
         self.encoder = encoder
         self.timeout = timeout
         self.max_conflicts = max_conflicts
+        self.cache = cache
         self.stats = QueryStats()
 
     def is_unsat(self, terms: Sequence[Term]) -> Optional[bool]:
@@ -52,20 +68,41 @@ class QueryEngine:
         Returns True (UNSAT), False (SAT), or None when the query timed out
         (in which case the checker conservatively assumes nothing).
         """
+        goal: List[Term] = list(terms)
+        goal.extend(self.encoder.definitions_for(*terms))
+
+        key: Optional[str] = None
+        if self.cache is not None:
+            from repro.engine.cache import canonical_query_key
+
+            key = canonical_query_key(goal)
+            verdict = self.cache.lookup(key, timeout=self.timeout,
+                                        max_conflicts=self.max_conflicts)
+            if verdict is not None:
+                self.stats.cache_hits += 1
+                return self._record(verdict)
+
         solver = Solver(self.encoder.manager, timeout=self.timeout,
                         max_conflicts=self.max_conflicts)
-        for term in terms:
+        for term in goal:
             solver.add(term)
-        for definition in self.encoder.definitions_for(*terms):
-            solver.add(definition)
         result = solver.check()
-
-        self.stats.queries += 1
         self.stats.total_time += solver.stats.total_time
-        if result is CheckResult.UNSAT:
+
+        verdict = result.value
+        if self.cache is not None and key is not None:
+            self.cache.store(key, verdict, timeout=self.timeout,
+                             max_conflicts=self.max_conflicts,
+                             elapsed=solver.stats.total_time)
+        return self._record(verdict)
+
+    def _record(self, verdict: str) -> Optional[bool]:
+        """Update counters for one answered query and map verdict to bool."""
+        self.stats.queries += 1
+        if verdict == CheckResult.UNSAT.value:
             self.stats.unsat += 1
             return True
-        if result is CheckResult.SAT:
+        if verdict == CheckResult.SAT.value:
             self.stats.sat += 1
             return False
         self.stats.timeouts += 1

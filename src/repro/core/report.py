@@ -87,9 +87,15 @@ class FunctionReport:
     function: str
     diagnostics: List[Diagnostic] = field(default_factory=list)
     queries: int = 0
+    cache_hits: int = 0                     # queries answered from the cache
     timeouts: int = 0
     analysis_time: float = 0.0
     suppressed_compiler_origin: int = 0     # warnings dropped per §4.2/§4.5
+
+    @property
+    def solver_queries(self) -> int:
+        """Queries that actually reached the solver."""
+        return self.queries - self.cache_hits
 
 
 @dataclass
@@ -109,6 +115,14 @@ class BugReport:
     @property
     def queries(self) -> int:
         return sum(f.queries for f in self.functions)
+
+    @property
+    def cache_hits(self) -> int:
+        return sum(f.cache_hits for f in self.functions)
+
+    @property
+    def solver_queries(self) -> int:
+        return sum(f.solver_queries for f in self.functions)
 
     @property
     def timeouts(self) -> int:

@@ -1,0 +1,275 @@
+"""Content-addressed solver-query cache.
+
+The checker asks the solver thousands of structurally identical questions:
+the synthetic corpora instantiate the same snippet templates under many
+function names, and a warm rerun over an unchanged corpus repeats every
+query verbatim.  This module gives those queries a *content address* — a
+SHA-256 over the canonical, alpha-renamed serialization of the query's term
+DAG — so that a verdict computed once can be replayed for every structurally
+identical query, across functions, across work units, and (via the JSONL
+persistence layer) across runs.
+
+Three design points matter for soundness:
+
+* **Alpha-renaming.**  Variable names embed the function name
+  (``f.arg.len``, ``f.div.3``), so two instances of the same template never
+  share names.  The canonical form renames variables to ``v0, v1, ...`` in
+  first-visit order, which is deterministic for a fixed term structure.
+* **DAG-aware serialization.**  Terms are hash-consed DAGs with heavy
+  sharing; the serializer emits each distinct node once and refers to it by
+  index, so the canonical form stays linear in DAG size.
+* **Budget-qualified UNKNOWN.**  SAT and UNSAT verdicts are valid under any
+  budget, but a timeout observed under a small budget says nothing about a
+  larger one.  Each entry records the budget it was computed under, and an
+  ``unknown`` verdict is only replayed when the cached budget covers the
+  requested one — which is exactly what lets the engine's timeout-escalation
+  retries re-solve instead of replaying a stale timeout.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+from collections import OrderedDict
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Optional, Sequence
+
+from repro.solver.terms import Op, Term
+
+#: Cache verdict values (mirrors :class:`repro.solver.solver.CheckResult`).
+VERDICT_SAT = "sat"
+VERDICT_UNSAT = "unsat"
+VERDICT_UNKNOWN = "unknown"
+
+_VERDICTS = (VERDICT_SAT, VERDICT_UNSAT, VERDICT_UNKNOWN)
+
+
+def canonical_query_key(terms: Sequence[Term]) -> str:
+    """Content address of a query: SHA-256 of its canonical serialization.
+
+    The serialization walks the term DAG bottom-up, assigns every distinct
+    node a sequential index, and alpha-renames variables in first-visit
+    order.  Two queries receive the same key iff their term DAGs are
+    structurally identical up to variable naming.
+    """
+    rename: Dict[str, str] = {}
+    memo: Dict[int, str] = {}
+    nodes: List[str] = []
+    for root in terms:
+        stack = [(root, False)]
+        while stack:
+            term, ready = stack.pop()
+            if term.tid in memo:
+                continue
+            if not ready:
+                stack.append((term, True))
+                for arg in term.args:
+                    if arg.tid not in memo:
+                        stack.append((arg, False))
+                continue
+            sort = term.sort.kind if term.sort.is_bool() else f"bv{term.sort.width}"
+            if term.op is Op.VAR:
+                alias = rename.setdefault(term.attrs[0], f"v{len(rename)}")
+                node = f"var:{alias}:{sort}"
+            elif term.op is Op.CONST:
+                node = f"const:{term.attrs[0]}:{sort}"
+            else:
+                args = ",".join(memo[a.tid] for a in term.args)
+                attrs = ",".join(str(a) for a in term.attrs)
+                node = f"{term.op.value}:{attrs}:{args}"
+            memo[term.tid] = f"n{len(nodes)}"
+            nodes.append(node)
+    roots = ",".join(memo[t.tid] for t in terms)
+    blob = ";".join(nodes) + "|" + roots
+    return hashlib.sha256(blob.encode("utf-8")).hexdigest()
+
+
+@dataclass
+class CacheEntry:
+    """One cached verdict, qualified by the budget it was computed under."""
+
+    key: str
+    verdict: str
+    timeout: Optional[float] = None
+    max_conflicts: Optional[int] = None
+    elapsed: float = 0.0
+
+    def as_dict(self) -> Dict[str, object]:
+        return {"key": self.key, "verdict": self.verdict,
+                "timeout": self.timeout, "max_conflicts": self.max_conflicts,
+                "elapsed": round(self.elapsed, 6)}
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, object]) -> "CacheEntry":
+        return cls(key=str(data["key"]), verdict=str(data["verdict"]),
+                   timeout=data.get("timeout"),
+                   max_conflicts=data.get("max_conflicts"),
+                   elapsed=float(data.get("elapsed", 0.0)))
+
+    def budget_covers(self, timeout: Optional[float],
+                      max_conflicts: Optional[int]) -> bool:
+        """True if this entry's budget is at least the requested budget."""
+        if self.timeout is not None and (timeout is None or self.timeout < timeout):
+            return False
+        if self.max_conflicts is not None and \
+                (max_conflicts is None or self.max_conflicts < max_conflicts):
+            return False
+        return True
+
+
+class SolverQueryCache:
+    """In-process LRU of solver verdicts, persistable to disk as JSONL.
+
+    The cache is shared by every :class:`~repro.core.queries.QueryEngine`
+    a checker run creates.  ``flush()`` appends entries added since the last
+    flush to ``path`` (append-only JSONL, so concurrent runs over different
+    corpora can share one cache file), and a fresh cache constructed with the
+    same ``path`` starts warm.
+    """
+
+    def __init__(self, capacity: int = 100_000,
+                 path: Optional[str] = None) -> None:
+        if capacity <= 0:
+            raise ValueError("cache capacity must be positive")
+        self.capacity = capacity
+        self.path = path
+        self.hits = 0
+        self.misses = 0
+        self._entries: "OrderedDict[str, CacheEntry]" = OrderedDict()
+        self._unflushed: List[CacheEntry] = []
+        if path is not None:
+            self.load(path)
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    # -- lookup / store -----------------------------------------------------------
+
+    def lookup(self, key: str, timeout: Optional[float] = None,
+               max_conflicts: Optional[int] = None) -> Optional[str]:
+        """Return the cached verdict for ``key``, or None on a miss.
+
+        An ``unknown`` verdict only counts as a hit when it was computed
+        under a budget at least as large as the requested one.
+        """
+        entry = self._entries.get(key)
+        if entry is None:
+            self.misses += 1
+            return None
+        if entry.verdict == VERDICT_UNKNOWN and \
+                not entry.budget_covers(timeout, max_conflicts):
+            self.misses += 1
+            return None
+        self._entries.move_to_end(key)
+        self.hits += 1
+        return entry.verdict
+
+    def store(self, key: str, verdict: str, timeout: Optional[float] = None,
+              max_conflicts: Optional[int] = None, elapsed: float = 0.0) -> None:
+        """Record a verdict computed under the given budget."""
+        if verdict not in _VERDICTS:
+            raise ValueError(f"unknown verdict {verdict!r}")
+        existing = self._entries.get(key)
+        if existing is not None and existing.verdict != VERDICT_UNKNOWN:
+            # A definitive verdict never gets downgraded.
+            self._entries.move_to_end(key)
+            return
+        entry = CacheEntry(key=key, verdict=verdict, timeout=timeout,
+                           max_conflicts=max_conflicts, elapsed=elapsed)
+        self._entries[key] = entry
+        self._entries.move_to_end(key)
+        self._unflushed.append(entry)
+        while len(self._entries) > self.capacity:
+            self._entries.popitem(last=False)
+
+    # -- merging across processes ---------------------------------------------------
+
+    def drain_new_entries(self) -> List[Dict[str, object]]:
+        """Entries added since the last drain/flush, as JSON-ready dicts.
+
+        Worker processes call this after each work unit so the parent can
+        absorb their discoveries into the authoritative cache.
+        """
+        drained = [entry.as_dict() for entry in self._unflushed]
+        self._unflushed = []
+        return drained
+
+    def absorb(self, entries: Iterable[Dict[str, object]]) -> int:
+        """Merge entries drained from another cache; returns how many were new."""
+        added = 0
+        for data in entries:
+            entry = CacheEntry.from_dict(data)
+            existing = self._entries.get(entry.key)
+            if existing is not None and existing.verdict != VERDICT_UNKNOWN:
+                continue
+            if existing is not None and entry.verdict == VERDICT_UNKNOWN and \
+                    not entry.budget_covers(existing.timeout, existing.max_conflicts):
+                continue
+            self._entries[entry.key] = entry
+            self._entries.move_to_end(entry.key)
+            self._unflushed.append(entry)
+            added += 1
+        while len(self._entries) > self.capacity:
+            self._entries.popitem(last=False)
+        return added
+
+    def snapshot(self) -> List[Dict[str, object]]:
+        """All current entries as JSON-ready dicts (for seeding workers)."""
+        return [entry.as_dict() for entry in self._entries.values()]
+
+    def seed(self, entries: Iterable[Dict[str, object]]) -> None:
+        """Load entries without marking them dirty (worker bootstrap)."""
+        for data in entries:
+            entry = CacheEntry.from_dict(data)
+            self._entries[entry.key] = entry
+        while len(self._entries) > self.capacity:
+            self._entries.popitem(last=False)
+
+    # -- disk persistence ------------------------------------------------------------
+
+    def load(self, path: str) -> int:
+        """Read a JSONL cache file; silently tolerates a missing file."""
+        if not os.path.exists(path):
+            return 0
+        loaded = 0
+        with open(path, "r", encoding="utf-8") as handle:
+            for line in handle:
+                line = line.strip()
+                if not line:
+                    continue
+                try:
+                    data = json.loads(line)
+                except json.JSONDecodeError:
+                    continue          # torn line from an interrupted flush
+                if "key" not in data or data.get("verdict") not in _VERDICTS:
+                    continue
+                self.seed((data,))
+                loaded += 1
+        return loaded
+
+    def flush(self, path: Optional[str] = None) -> int:
+        """Append entries added since the last flush to the JSONL file."""
+        target = path if path is not None else self.path
+        if target is None or not self._unflushed:
+            self._unflushed = []
+            return 0
+        directory = os.path.dirname(target)
+        if directory:
+            os.makedirs(directory, exist_ok=True)
+        written = 0
+        with open(target, "a", encoding="utf-8") as handle:
+            for entry in self._unflushed:
+                handle.write(json.dumps(entry.as_dict()) + "\n")
+                written += 1
+        self._unflushed = []
+        return written
+
+    @property
+    def hit_rate(self) -> float:
+        total = self.hits + self.misses
+        return self.hits / total if total else 0.0
+
+    def stats_dict(self) -> Dict[str, object]:
+        return {"entries": len(self._entries), "hits": self.hits,
+                "misses": self.misses, "hit_rate": round(self.hit_rate, 4)}

@@ -1,0 +1,275 @@
+"""The corpus-checking engine: fan-out, caching, escalation, streaming.
+
+The paper's headline experiment runs the checker over the entire Debian
+Wheezy archive (§6.5, Figure 16).  :class:`CheckEngine` is the substrate for
+that workload in this reproduction: it takes a corpus of translation units,
+fans one work unit per unit out over a ``multiprocessing`` pool, shares a
+content-addressed solver-query cache across units / workers / runs, retries
+functions that blow the per-query budget under an escalated budget, and
+streams per-unit results to a JSONL sink together with run-level statistics.
+
+Sequential mode (``workers <= 1``) runs everything in-process with identical
+semantics — it is the reference the parallel path is tested against.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import time
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple, Union
+
+from repro.core.checker import CheckerConfig
+from repro.core.report import BugReport
+from repro.engine.cache import SolverQueryCache
+from repro.engine.sink import JsonlResultSink
+from repro.engine.workunit import UnitResult, WorkUnit, check_work_unit
+from repro.ir.function import Module
+
+#: Anything convertible into a WorkUnit: the unit itself, a (name, source)
+#: pair, bare source text, or a lowered IR module.
+UnitLike = Union[WorkUnit, Tuple[str, str], str, Module]
+
+
+def _default_start_method() -> str:
+    """"fork" where available (fast), "spawn" elsewhere (Windows/macOS)."""
+    return "fork" if "fork" in multiprocessing.get_all_start_methods() else "spawn"
+
+
+@dataclass
+class EngineConfig:
+    """Configuration of a :class:`CheckEngine` run (see docs/ENGINE.md)."""
+
+    #: Worker processes; 0 or 1 checks sequentially in-process.
+    workers: int = 0
+    #: Checker configuration applied to every work unit.
+    checker: CheckerConfig = field(default_factory=CheckerConfig)
+    #: Share solver verdicts across functions / workers / runs.
+    cache_enabled: bool = True
+    #: Maximum in-memory cache entries (LRU eviction beyond this).
+    cache_capacity: int = 100_000
+    #: JSONL file the cache is warmed from and flushed to (None = in-memory only).
+    cache_path: Optional[str] = None
+    #: Cumulative budget multipliers for retrying functions with query
+    #: timeouts: a unit is retried under base*4, then base*16 by default.
+    escalation_factors: Tuple[float, ...] = (4.0, 16.0)
+    #: JSONL file streaming one record per finished unit plus a run summary.
+    results_path: Optional[str] = None
+    #: ``multiprocessing`` start method ("fork" where available, else "spawn").
+    start_method: str = field(default_factory=_default_start_method)
+
+
+@dataclass
+class RunStats:
+    """Aggregate statistics of one engine run (the Figure 16 counters)."""
+
+    units: int = 0
+    failed_units: int = 0
+    functions: int = 0
+    diagnostics: int = 0
+    queries: int = 0
+    solver_queries: int = 0
+    cache_hits: int = 0
+    timeouts: int = 0
+    escalated_units: int = 0
+    workers: int = 0
+    wall_clock: float = 0.0
+    analysis_time: float = 0.0
+
+    def as_dict(self) -> Dict[str, object]:
+        return {
+            "units": self.units, "failed_units": self.failed_units,
+            "functions": self.functions, "diagnostics": self.diagnostics,
+            "queries": self.queries, "solver_queries": self.solver_queries,
+            "cache_hits": self.cache_hits, "timeouts": self.timeouts,
+            "escalated_units": self.escalated_units, "workers": self.workers,
+            "wall_clock": round(self.wall_clock, 6),
+            "analysis_time": round(self.analysis_time, 6),
+        }
+
+
+@dataclass
+class EngineResult:
+    """Everything one engine run produced."""
+
+    results: List[UnitResult] = field(default_factory=list)
+    stats: RunStats = field(default_factory=RunStats)
+
+    @property
+    def reports(self) -> List[BugReport]:
+        return [result.report for result in self.results]
+
+    @property
+    def bugs(self):
+        return [bug for report in self.reports for bug in report.bugs]
+
+    def merged(self, name: str = "corpus") -> BugReport:
+        """All per-unit reports merged into a single :class:`BugReport`."""
+        merged = BugReport(module=name)
+        for report in self.reports:
+            merged.merge(report)
+        return merged
+
+
+# -- worker-process plumbing --------------------------------------------------------
+#
+# Workers are initialized once with the checker config and a snapshot of the
+# parent's cache, then receive (index, unit) pairs.  Each result carries the
+# cache entries that worker discovered so the parent can absorb them into
+# the authoritative cache (and re-seed future runs / flush to disk).
+
+_WORKER_CONFIG: Optional[CheckerConfig] = None
+_WORKER_CACHE: Optional[SolverQueryCache] = None
+_WORKER_ESCALATION: Tuple[float, ...] = ()
+
+
+def _worker_init(config: CheckerConfig, cache_seed: Optional[List[dict]],
+                 cache_capacity: int,
+                 escalation_factors: Tuple[float, ...]) -> None:
+    global _WORKER_CONFIG, _WORKER_CACHE, _WORKER_ESCALATION
+    _WORKER_CONFIG = config
+    _WORKER_ESCALATION = escalation_factors
+    if cache_seed is None:
+        _WORKER_CACHE = None
+    else:
+        _WORKER_CACHE = SolverQueryCache(capacity=cache_capacity)
+        _WORKER_CACHE.seed(cache_seed)
+
+
+def _worker_check(payload: Tuple[int, WorkUnit]) -> Tuple[int, UnitResult]:
+    index, unit = payload
+    result = check_work_unit(unit, _WORKER_CONFIG, cache=_WORKER_CACHE,
+                             escalation_factors=_WORKER_ESCALATION,
+                             drain_cache=True)
+    return index, result
+
+
+class CheckEngine:
+    """Checks corpora of translation units at scale."""
+
+    def __init__(self, config: Optional[EngineConfig] = None) -> None:
+        self.config = config if config is not None else EngineConfig()
+        self.cache: Optional[SolverQueryCache] = None
+        if self.config.cache_enabled:
+            self.cache = SolverQueryCache(capacity=self.config.cache_capacity,
+                                          path=self.config.cache_path)
+
+    # -- public API ----------------------------------------------------------------
+
+    def check_corpus(self, units: Iterable[UnitLike]) -> EngineResult:
+        """Check every unit of a corpus; see module docstring for semantics."""
+        work = [self._coerce(unit, index) for index, unit in enumerate(units)]
+        started = time.monotonic()
+        sink = JsonlResultSink(self.config.results_path) \
+            if self.config.results_path else None
+        try:
+            if self.config.workers > 1 and len(work) > 1:
+                results = self._run_parallel(work, sink)
+            else:
+                results = self._run_sequential(work, sink)
+            stats = self._aggregate(results, time.monotonic() - started)
+            if sink is not None:
+                sink.write_summary(self._summary_dict(stats))
+        finally:
+            if sink is not None:
+                sink.close()
+        if self.cache is not None and self.config.cache_path is not None:
+            self.cache.flush()
+        return EngineResult(results=results, stats=stats)
+
+    def check_modules(self, modules: Iterable[Module]) -> EngineResult:
+        """Check already-lowered IR modules (pickled to workers if parallel)."""
+        return self.check_corpus(modules)
+
+    # -- execution strategies ---------------------------------------------------------
+
+    def _run_sequential(self, work: List[WorkUnit],
+                        sink: Optional[JsonlResultSink]) -> List[UnitResult]:
+        results: List[UnitResult] = []
+        for unit in work:
+            result = check_work_unit(
+                unit, self.config.checker, cache=self.cache,
+                escalation_factors=self.config.escalation_factors,
+                drain_cache=False)
+            results.append(result)
+            if sink is not None:
+                sink.write_unit(result.name, result.report,
+                                attempts=result.attempts,
+                                escalated=result.escalated, error=result.error)
+        return results
+
+    def _run_parallel(self, work: List[WorkUnit],
+                      sink: Optional[JsonlResultSink]) -> List[UnitResult]:
+        workers = min(self.config.workers, len(work))
+        cache_seed = self.cache.snapshot() if self.cache is not None else None
+        context = multiprocessing.get_context(self.config.start_method)
+        ordered: List[Optional[UnitResult]] = [None] * len(work)
+        with context.Pool(
+            processes=workers,
+            initializer=_worker_init,
+            initargs=(self.config.checker, cache_seed,
+                      self.config.cache_capacity,
+                      self.config.escalation_factors),
+        ) as pool:
+            payloads = list(enumerate(work))
+            for index, result in pool.imap_unordered(_worker_check, payloads):
+                if self.cache is not None and result.cache_entries:
+                    self.cache.absorb(result.cache_entries)
+                result.cache_entries = []
+                ordered[index] = result
+                if sink is not None:
+                    sink.write_unit(result.name, result.report,
+                                    attempts=result.attempts,
+                                    escalated=result.escalated,
+                                    error=result.error)
+        return [result for result in ordered if result is not None]
+
+    # -- helpers --------------------------------------------------------------------
+
+    @staticmethod
+    def _coerce(unit: UnitLike, index: int) -> WorkUnit:
+        if isinstance(unit, WorkUnit):
+            return unit
+        if isinstance(unit, Module):
+            return WorkUnit(name=unit.name or f"unit{index}", module=unit)
+        if isinstance(unit, str):
+            return WorkUnit(name=f"unit{index}", source=unit)
+        if isinstance(unit, tuple) and len(unit) == 2:
+            name, source = unit
+            return WorkUnit(name=name, source=source)
+        raise TypeError(f"cannot build a WorkUnit from {type(unit).__name__}")
+
+    def _aggregate(self, results: Sequence[UnitResult],
+                   wall_clock: float) -> RunStats:
+        stats = RunStats(workers=max(1, self.config.workers),
+                         wall_clock=wall_clock)
+        for result in results:
+            stats.units += 1
+            if not result.ok:
+                stats.failed_units += 1
+            if result.escalated:
+                stats.escalated_units += 1
+            report = result.report
+            stats.functions += len(report.functions)
+            stats.diagnostics += len(report.bugs)
+            stats.queries += report.queries
+            stats.cache_hits += report.cache_hits
+            stats.timeouts += report.timeouts
+            stats.analysis_time += report.analysis_time
+        stats.solver_queries = stats.queries - stats.cache_hits
+        return stats
+
+    def _summary_dict(self, stats: RunStats) -> Dict[str, object]:
+        summary = stats.as_dict()
+        if self.cache is not None:
+            # Derive hit/miss from this run's aggregated report counters: in
+            # parallel mode the lookups happen inside worker-process cache
+            # copies, so the parent cache's own counters would read zero.
+            total = stats.queries
+            summary["cache"] = {
+                "entries": len(self.cache),
+                "hits": stats.cache_hits,
+                "misses": stats.solver_queries,
+                "hit_rate": round(stats.cache_hits / total, 4) if total else 0.0,
+            }
+        return summary

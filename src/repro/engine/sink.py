@@ -1,0 +1,100 @@
+"""Streaming JSONL result sink for engine runs.
+
+One line per completed work unit (written as results arrive, so a crashed
+run still leaves everything finished on disk) plus a final ``run`` summary
+line with the aggregate statistics.  The schemas are documented in
+``docs/ENGINE.md`` and deliberately contain only plain JSON types so the
+files can be post-processed with ``jq`` or loaded into a dataframe.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from typing import IO, Dict, List, Optional
+
+from repro.core.report import BugReport, Diagnostic
+
+
+def diagnostic_to_dict(diagnostic: Diagnostic) -> Dict[str, object]:
+    """Flatten one diagnostic into plain JSON types."""
+    return {
+        "function": diagnostic.function,
+        "location": str(diagnostic.location),
+        "algorithm": diagnostic.algorithm.value,
+        "message": diagnostic.message,
+        "fragment": diagnostic.fragment,
+        "replacement": diagnostic.replacement,
+        "ub_kinds": [kind.value for kind in diagnostic.ub_kinds],
+        "classification": diagnostic.classification,
+    }
+
+
+def report_to_dict(name: str, report: BugReport, attempts: int = 1,
+                   escalated: bool = False,
+                   error: Optional[str] = None) -> Dict[str, object]:
+    """Flatten one unit's bug report into the JSONL ``unit`` record."""
+    return {
+        "type": "unit",
+        "unit": name,
+        "module": report.module,
+        "error": error,
+        "attempts": attempts,
+        "escalated": escalated,
+        "functions": [
+            {
+                "function": fr.function,
+                "diagnostics": len(fr.diagnostics),
+                "queries": fr.queries,
+                "cache_hits": fr.cache_hits,
+                "timeouts": fr.timeouts,
+                "analysis_time": round(fr.analysis_time, 6),
+            }
+            for fr in report.functions
+        ],
+        "diagnostics": [diagnostic_to_dict(d) for d in report.bugs],
+        "queries": report.queries,
+        "cache_hits": report.cache_hits,
+        "timeouts": report.timeouts,
+        "analysis_time": round(report.analysis_time, 6),
+    }
+
+
+class JsonlResultSink:
+    """Appends one JSON object per line to a results file as units finish."""
+
+    def __init__(self, path: str) -> None:
+        self.path = path
+        directory = os.path.dirname(path)
+        if directory:
+            os.makedirs(directory, exist_ok=True)
+        self._handle: Optional[IO[str]] = open(path, "w", encoding="utf-8")
+        self.lines_written = 0
+
+    def write_unit(self, name: str, report: BugReport, attempts: int = 1,
+                   escalated: bool = False, error: Optional[str] = None) -> None:
+        self._write(report_to_dict(name, report, attempts=attempts,
+                                   escalated=escalated, error=error))
+
+    def write_summary(self, stats: Dict[str, object]) -> None:
+        record = {"type": "run"}
+        record.update(stats)
+        self._write(record)
+
+    def _write(self, record: Dict[str, object]) -> None:
+        if self._handle is None:
+            raise RuntimeError("result sink is closed")
+        self._handle.write(json.dumps(record) + "\n")
+        self._handle.flush()
+        self.lines_written += 1
+
+    def close(self) -> None:
+        if self._handle is not None:
+            self._handle.close()
+            self._handle = None
+
+    def __enter__(self) -> "JsonlResultSink":
+        return self
+
+    def __exit__(self, *_exc) -> None:
+        self.close()

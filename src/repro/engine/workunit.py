@@ -1,0 +1,119 @@
+"""Picklable work units for the corpus-checking engine.
+
+A :class:`WorkUnit` is one translation unit to check — either MiniC source
+text (compiled inside the worker, so only strings cross the process
+boundary) or an already-lowered IR module.  :func:`check_work_unit` is the
+pure function a worker runs: compile if needed, check every function, and
+retry with an escalated per-query budget while any function still blows it.
+Everything it takes and returns pickles, which is what lets
+:class:`~repro.engine.engine.CheckEngine` fan units out over a
+``multiprocessing`` pool.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence, Tuple
+
+from repro.core.checker import CheckerConfig, StackChecker
+from repro.core.report import BugReport
+from repro.engine.cache import SolverQueryCache
+from repro.ir.function import Module
+
+
+@dataclass
+class WorkUnit:
+    """One unit of checking work: a named translation unit."""
+
+    name: str
+    source: Optional[str] = None         # MiniC source, compiled in the worker
+    module: Optional[Module] = None      # or an already-lowered IR module
+    filename: str = ""
+
+    def __post_init__(self) -> None:
+        if (self.source is None) == (self.module is None):
+            raise ValueError("a WorkUnit needs exactly one of source / module")
+        if not self.filename:
+            self.filename = f"{self.name}.c"
+
+
+@dataclass
+class UnitResult:
+    """Outcome of checking one work unit."""
+
+    name: str
+    report: BugReport
+    attempts: int = 1                    # 1 = the base budget sufficed
+    escalated: bool = False              # any retry was needed
+    error: Optional[str] = None          # compile/verify failure, if any
+    cache_entries: List[dict] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        return self.error is None
+
+
+def escalate_config(config: CheckerConfig, factor: float) -> CheckerConfig:
+    """A copy of ``config`` with the per-query budget scaled by ``factor``."""
+    timeout = None if config.solver_timeout is None \
+        else config.solver_timeout * factor
+    conflicts = None if config.max_conflicts is None \
+        else max(1, int(config.max_conflicts * factor))
+    return dataclasses.replace(config, solver_timeout=timeout,
+                               max_conflicts=conflicts)
+
+
+def check_work_unit(unit: WorkUnit, config: CheckerConfig,
+                    cache: Optional[SolverQueryCache] = None,
+                    escalation_factors: Sequence[float] = (),
+                    drain_cache: bool = True) -> UnitResult:
+    """Check one work unit, escalating the budget for timing-out functions.
+
+    The base pass checks the whole module.  While any function reports query
+    timeouts and escalation steps remain, only those functions are re-checked
+    under the next (cumulatively scaled) budget; their reports replace the
+    starved ones.  Cached SAT/UNSAT verdicts are replayed across attempts,
+    while cached ``unknown`` verdicts are ignored under a larger budget
+    (see :mod:`repro.engine.cache`), so a retry re-solves exactly the
+    queries that timed out.
+    """
+    if unit.module is None:
+        from repro.api import compile_source
+
+        try:
+            module = compile_source(unit.source, filename=unit.filename)
+        except Exception as exc:                       # frontend rejection
+            return UnitResult(name=unit.name, report=BugReport(module=unit.name),
+                              error=f"{type(exc).__name__}: {exc}")
+    else:
+        module = unit.module
+
+    checker = StackChecker(config, query_cache=cache)
+    report = checker.check_module(module)
+    report.module = report.module or unit.name
+
+    attempts = 1
+    escalated = False
+    functions_by_name = {fn.name: fn for fn in module.defined_functions()}
+    for factor in escalation_factors:
+        starved = [fr for fr in report.functions if fr.timeouts > 0]
+        if not starved:
+            break
+        escalated = True
+        attempts += 1
+        retry_checker = StackChecker(escalate_config(config, factor),
+                                     query_cache=cache)
+        for function_report in starved:
+            function = functions_by_name.get(function_report.function)
+            if function is None:
+                continue
+            retried = retry_checker.check_function(function)
+            index = report.functions.index(function_report)
+            report.functions[index] = retried
+
+    # Workers drain their discoveries so the parent can absorb them; in
+    # sequential mode the engine owns the cache and flushes it directly.
+    entries = cache.drain_new_entries() if cache is not None and drain_cache else []
+    return UnitResult(name=unit.name, report=report, attempts=attempts,
+                      escalated=escalated, cache_entries=entries)

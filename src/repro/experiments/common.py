@@ -3,7 +3,7 @@
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 
 from repro.api import check_source
 from repro.core.checker import CheckerConfig
@@ -38,10 +38,18 @@ class SnippetAnalyzer:
     Analyzing each template once and reusing the summary keeps the archive-
     and system-scale experiments tractable on a laptop; the per-instance
     counts still come from the corpus seeding.
+
+    A shared :class:`~repro.engine.cache.SolverQueryCache` can be attached so
+    that even *distinct* templates reuse each other's solver verdicts, and
+    :meth:`prewarm` routes a batch of templates through the parallel
+    :class:`~repro.engine.engine.CheckEngine` before the sequential
+    tabulation loops run.
     """
 
-    def __init__(self, config: Optional[CheckerConfig] = None) -> None:
+    def __init__(self, config: Optional[CheckerConfig] = None,
+                 query_cache: Optional["SolverQueryCache"] = None) -> None:
         self.config = config if config is not None else CheckerConfig()
+        self.query_cache = query_cache
         self._cache: Dict[str, SnippetAnalysis] = {}
 
     def analyze(self, snippet: Snippet) -> SnippetAnalysis:
@@ -49,7 +57,7 @@ class SnippetAnalyzer:
         if cached is not None:
             return cached
         report = check_source(snippet.render("t"), filename=f"{snippet.name}.c",
-                              config=self.config)
+                              config=self.config, cache=self.query_cache)
         analysis = self._summarise(snippet.name, report)
         self._cache[snippet.name] = analysis
         return analysis
@@ -58,10 +66,38 @@ class SnippetAnalyzer:
         cached = self._cache.get(name)
         if cached is not None:
             return cached
-        report = check_source(source, filename=f"{name}.c", config=self.config)
+        report = check_source(source, filename=f"{name}.c", config=self.config,
+                              cache=self.query_cache)
         analysis = self._summarise(name, report)
         self._cache[name] = analysis
         return analysis
+
+    def prewarm(self, snippets: Iterable[Snippet], workers: int = 0) -> int:
+        """Analyze many templates through the engine in one fan-out.
+
+        Summaries land in the memo cache and the workers' solver verdicts are
+        absorbed into ``query_cache``, so subsequent sequential ``analyze``
+        calls are cache replays.  Returns the number of templates analyzed.
+        """
+        from repro.engine.engine import CheckEngine, EngineConfig
+
+        pending = [s for s in snippets if s.name not in self._cache]
+        if not pending:
+            return 0
+        engine = CheckEngine(EngineConfig(workers=workers, checker=self.config))
+        if self.query_cache is not None and engine.cache is not None:
+            # Verdicts the analyzer already holds seed the fan-out warm.
+            engine.cache.seed(self.query_cache.snapshot())
+        result = engine.check_corpus(
+            (snippet.name, snippet.render("t")) for snippet in pending)
+        for snippet, unit_result in zip(pending, result.results):
+            if not unit_result.ok:
+                continue
+            self._cache[snippet.name] = self._summarise(snippet.name,
+                                                        unit_result.report)
+        if self.query_cache is not None and engine.cache is not None:
+            self.query_cache.absorb(engine.cache.snapshot())
+        return len(pending)
 
     @staticmethod
     def _summarise(name: str, report: BugReport) -> SnippetAnalysis:

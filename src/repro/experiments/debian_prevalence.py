@@ -98,13 +98,29 @@ class PrevalenceResult:
 
 
 def run_prevalence(sample_size: int = 60, seed: int = 2013,
-                   analyzer: Optional[SnippetAnalyzer] = None) -> PrevalenceResult:
-    """Analyze a sample of synthetic packages and tabulate report statistics."""
+                   analyzer: Optional[SnippetAnalyzer] = None,
+                   workers: int = 0) -> PrevalenceResult:
+    """Analyze a sample of synthetic packages and tabulate report statistics.
+
+    With ``workers > 1`` the distinct snippet templates seeded across the
+    sampled packages are first analyzed through the parallel
+    :class:`~repro.engine.engine.CheckEngine` (sharing one solver-query
+    cache), and the per-package tabulation then runs over memoised results.
+    """
     model = DebianArchiveModel(seed=seed)
-    analyzer = analyzer if analyzer is not None else SnippetAnalyzer()
+    if analyzer is None:
+        from repro.engine.cache import SolverQueryCache
+
+        analyzer = SnippetAnalyzer(query_cache=SolverQueryCache())
     result = PrevalenceResult(sample_size=sample_size)
 
-    for package in model.sample_packages(sample_size):
+    packages = model.sample_packages(sample_size)
+    if workers > 1:
+        distinct = {snippet.name: snippet for package in packages
+                    for snippet in package.seeded_snippets}
+        analyzer.prewarm(distinct.values(), workers=workers)
+
+    for package in packages:
         package_algorithms = set()
         package_had_report = False
         for _filename, _source, snippet in package.files:

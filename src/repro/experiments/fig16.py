@@ -16,9 +16,10 @@ import time
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Tuple
 
-from repro.api import check_source, compile_source
-from repro.core.checker import CheckerConfig, StackChecker
+from repro.api import compile_source
+from repro.core.checker import CheckerConfig
 from repro.corpus.snippets import SNIPPETS, STABLE_SNIPPETS
+from repro.engine.engine import CheckEngine, EngineConfig
 from repro.experiments.common import render_table
 
 #: (paper files, paper build minutes, paper analysis minutes, paper queries,
@@ -38,6 +39,7 @@ class SystemPerformance:
     analysis_time: float
     queries: int
     timeouts: int
+    cache_hits: int = 0
 
     @property
     def timeout_fraction(self) -> float:
@@ -51,14 +53,14 @@ class Figure16Result:
 
     def render(self) -> str:
         headers = ["system", "files", "build (s)", "analysis (s)",
-                   "# queries", "# timeouts", "paper files", "paper queries",
-                   "paper timeouts"]
+                   "# queries", "# cache hits", "# timeouts", "paper files",
+                   "paper queries", "paper timeouts"]
         rows = []
         for m in self.measurements:
             paper = PAPER_FIGURE16.get(m.system, (0, 0, 0, 0, 0))
             rows.append([m.system, m.files, f"{m.build_time:.2f}",
-                         f"{m.analysis_time:.2f}", m.queries, m.timeouts,
-                         paper[0], paper[3], paper[4]])
+                         f"{m.analysis_time:.2f}", m.queries, m.cache_hits,
+                         m.timeouts, paper[0], paper[3], paper[4]])
         title = (f"Figure 16: checker performance (synthetic corpora scaled to "
                  f"{self.scale:.3f} of the paper's file counts)")
         return render_table(headers, rows, title=title)
@@ -78,16 +80,22 @@ def _corpus_sources(file_count: int, unstable_fraction: float = 0.25) -> List[st
 
 
 def run_figure16(scale: float = 0.02,
-                 config: Optional[CheckerConfig] = None) -> Figure16Result:
+                 config: Optional[CheckerConfig] = None,
+                 workers: int = 0) -> Figure16Result:
     """Measure build/analysis performance on scaled synthetic corpora.
 
     ``scale`` multiplies the paper's per-system file counts (the default
     0.02 keeps a full run to roughly a minute on a laptop; the benchmark
-    harness uses a smaller scale still).
+    harness uses a smaller scale still).  The analysis phase runs through
+    :class:`~repro.engine.engine.CheckEngine` — pass ``workers > 1`` to fan
+    the per-file modules out over a worker pool with a shared solver-query
+    cache, the way the paper's archive runs parallelize over packages.
     """
     config = config if config is not None else CheckerConfig(minimize_ub_sets=False)
-    checker = StackChecker(config)
     result = Figure16Result(scale=scale)
+    # One engine for all three systems, so the solver-query cache carries
+    # verdicts across corpora the way a real archive run would.
+    engine = CheckEngine(EngineConfig(workers=workers, checker=config))
 
     for system, (paper_files, _bmin, _amin, _queries, _timeouts) in PAPER_FIGURE16.items():
         file_count = max(3, int(round(paper_files * scale)))
@@ -98,16 +106,10 @@ def run_figure16(scale: float = 0.02,
                    for i, source in enumerate(sources)]
         build_time = time.monotonic() - build_started
 
-        analysis_started = time.monotonic()
-        queries = 0
-        timeouts = 0
-        for module in modules:
-            report = checker.check_module(module)
-            queries += report.queries
-            timeouts += report.timeouts
-        analysis_time = time.monotonic() - analysis_started
+        run = engine.check_modules(modules)
 
         result.measurements.append(SystemPerformance(
             system=system, files=file_count, build_time=build_time,
-            analysis_time=analysis_time, queries=queries, timeouts=timeouts))
+            analysis_time=run.stats.wall_clock, queries=run.stats.queries,
+            timeouts=run.stats.timeouts, cache_hits=run.stats.cache_hits))
     return result

@@ -1,0 +1,352 @@
+"""Tests for the parallel corpus-checking engine (repro.engine).
+
+Covers the acceptance surface of the engine PR: content-addressed cache
+hit/miss and budget semantics, disk round-trip of the cache, parallel vs.
+sequential result equivalence over the built-in snippet corpus, warm-cache
+reruns issuing strictly fewer solver queries, timeout escalation, the JSONL
+result sink, and the CheckerConfig.describe() helper.
+"""
+
+import json
+
+import pytest
+
+from repro.api import check_corpus, check_source
+from repro.core.checker import CheckerConfig
+from repro.corpus.snippets import SNIPPETS, STABLE_SNIPPETS, snippet_by_name
+from repro.engine.cache import (
+    SolverQueryCache,
+    VERDICT_SAT,
+    VERDICT_UNKNOWN,
+    VERDICT_UNSAT,
+    canonical_query_key,
+)
+from repro.engine.engine import CheckEngine, EngineConfig
+from repro.engine.workunit import WorkUnit, check_work_unit, escalate_config
+from repro.solver.terms import TermManager
+
+
+def corpus_units(suffix="eq"):
+    """The built-in snippet corpus as (name, source) work units."""
+    return [(s.name, s.render(suffix)) for s in SNIPPETS + STABLE_SNIPPETS]
+
+
+def diagnostics_signature(result):
+    """Everything that identifies a diagnostic, including its minimal UB set."""
+    out = []
+    for report in result.reports:
+        for d in report.bugs:
+            out.append((d.function, str(d.location), d.algorithm.value,
+                        d.message, d.fragment, d.replacement,
+                        tuple(sorted(k.value for k in d.ub_kinds)),
+                        d.classification))
+    return out
+
+
+# -- shared runs over the built-in corpus (computed once per module) -----------------
+
+
+@pytest.fixture(scope="module")
+def cache_file(tmp_path_factory):
+    return str(tmp_path_factory.mktemp("engine") / "cache.jsonl")
+
+
+@pytest.fixture(scope="module")
+def cold_run(cache_file, tmp_path_factory):
+    results = str(tmp_path_factory.mktemp("engine-results") / "results.jsonl")
+    result = check_corpus(corpus_units(), workers=0,
+                          cache_path=cache_file, results_path=results)
+    result._results_path = results
+    return result
+
+
+@pytest.fixture(scope="module")
+def parallel_run():
+    return check_corpus(corpus_units(), workers=2)
+
+
+@pytest.fixture(scope="module")
+def warm_run(cache_file, cold_run):
+    return check_corpus(corpus_units(), workers=2, cache_path=cache_file)
+
+
+# -- canonical query keys -------------------------------------------------------------
+
+
+def test_canonical_key_alpha_renames_variables():
+    mgr = TermManager()
+    a = mgr.bvadd(mgr.bv_var("f.arg.x", 32), mgr.bv_var("f.arg.y", 32))
+    b = mgr.bvadd(mgr.bv_var("g.arg.p", 32), mgr.bv_var("g.arg.q", 32))
+    zero = mgr.bv_const(0, 32)
+    assert canonical_query_key([mgr.eq(a, zero)]) == \
+        canonical_query_key([mgr.eq(b, zero)])
+
+
+def test_canonical_key_distinguishes_structure():
+    mgr = TermManager()
+    x = mgr.bv_var("x", 32)
+    y = mgr.bv_var("y", 32)
+    zero = mgr.bv_const(0, 32)
+    add = canonical_query_key([mgr.eq(mgr.bvadd(x, y), zero)])
+    sub = canonical_query_key([mgr.eq(mgr.bvsub(x, y), zero)])
+    const = canonical_query_key([mgr.eq(mgr.bvadd(x, mgr.bv_const(1, 32)), zero)])
+    assert len({add, sub, const}) == 3
+
+
+def test_canonical_key_is_width_sensitive():
+    mgr = TermManager()
+    k32 = canonical_query_key([mgr.eq(mgr.bv_var("x", 32), mgr.bv_const(0, 32))])
+    k64 = canonical_query_key([mgr.eq(mgr.bv_var("x", 64), mgr.bv_const(0, 64))])
+    assert k32 != k64
+
+
+# -- cache semantics ------------------------------------------------------------------
+
+
+def test_cache_hit_miss_counters():
+    cache = SolverQueryCache()
+    assert cache.lookup("k1") is None
+    cache.store("k1", VERDICT_UNSAT, timeout=5.0, max_conflicts=100)
+    assert cache.lookup("k1") == VERDICT_UNSAT
+    assert cache.hits == 1 and cache.misses == 1
+    assert len(cache) == 1
+
+
+def test_cache_unknown_is_budget_qualified():
+    cache = SolverQueryCache()
+    cache.store("k", VERDICT_UNKNOWN, timeout=1.0, max_conflicts=100)
+    # A larger requested budget must re-solve rather than replay the timeout.
+    assert cache.lookup("k", timeout=5.0, max_conflicts=100) is None
+    assert cache.lookup("k", timeout=1.0, max_conflicts=1000) is None
+    # An equal-or-smaller budget can reuse it.
+    assert cache.lookup("k", timeout=1.0, max_conflicts=100) == VERDICT_UNKNOWN
+    assert cache.lookup("k", timeout=0.5, max_conflicts=50) == VERDICT_UNKNOWN
+    # Definitive verdicts ignore the budget entirely.
+    cache.store("k2", VERDICT_SAT, timeout=0.001, max_conflicts=1)
+    assert cache.lookup("k2", timeout=60.0, max_conflicts=None) == VERDICT_SAT
+
+
+def test_cache_never_downgrades_definitive_verdicts():
+    cache = SolverQueryCache()
+    cache.store("k", VERDICT_UNSAT, timeout=5.0)
+    cache.store("k", VERDICT_UNKNOWN, timeout=60.0)
+    assert cache.lookup("k") == VERDICT_UNSAT
+
+
+def test_cache_lru_eviction():
+    cache = SolverQueryCache(capacity=2)
+    cache.store("a", VERDICT_SAT)
+    cache.store("b", VERDICT_SAT)
+    assert cache.lookup("a") == VERDICT_SAT     # refresh "a"
+    cache.store("c", VERDICT_SAT)               # evicts "b"
+    assert cache.lookup("b") is None
+    assert cache.lookup("a") == VERDICT_SAT
+    assert cache.lookup("c") == VERDICT_SAT
+
+
+def test_cache_disk_round_trip(tmp_path):
+    path = str(tmp_path / "cache.jsonl")
+    cache = SolverQueryCache(path=path)
+    cache.store("k1", VERDICT_UNSAT, timeout=5.0, max_conflicts=100, elapsed=0.25)
+    cache.store("k2", VERDICT_UNKNOWN, timeout=1.0, max_conflicts=10)
+    assert cache.flush() == 2
+    assert cache.flush() == 0                   # nothing new since last flush
+
+    lines = [json.loads(line) for line in open(path, encoding="utf-8")]
+    assert {line["key"] for line in lines} == {"k1", "k2"}
+
+    reloaded = SolverQueryCache(path=path)
+    assert len(reloaded) == 2
+    assert reloaded.lookup("k1") == VERDICT_UNSAT
+    assert reloaded.lookup("k2", timeout=1.0, max_conflicts=10) == VERDICT_UNKNOWN
+    # Entries loaded from disk are not "new" and must not be re-flushed.
+    assert reloaded.flush() == 0
+
+
+def test_cache_load_tolerates_torn_lines(tmp_path):
+    path = tmp_path / "cache.jsonl"
+    good = json.dumps({"key": "k", "verdict": "unsat",
+                       "timeout": 5.0, "max_conflicts": 10, "elapsed": 0.0})
+    path.write_text(good + "\n" + '{"key": "torn", "verd' + "\n")
+    cache = SolverQueryCache(path=str(path))
+    assert len(cache) == 1
+    assert cache.lookup("k") == VERDICT_UNSAT
+
+
+# -- checker integration --------------------------------------------------------------
+
+
+def test_query_cache_replays_across_identical_functions():
+    source = snippet_by_name("fig1_pointer_overflow_check")
+    cache = SolverQueryCache()
+    first = check_source(source.render("one"), cache=cache)
+    second = check_source(source.render("two"), cache=cache)
+    # Alpha-renaming makes the two instances' queries structurally identical.
+    assert first.queries == second.queries
+    assert first.solver_queries > 0
+    assert second.solver_queries == 0
+    assert second.cache_hits == second.queries
+    assert len(second.bugs) == len(first.bugs) > 0
+
+
+def test_uncached_checker_has_zero_cache_hits():
+    report = check_source(snippet_by_name("stable_division_guard").render("x"))
+    assert report.cache_hits == 0
+    assert report.solver_queries == report.queries
+
+
+# -- corpus runs: equivalence and warm cache -----------------------------------------
+
+
+def test_cold_run_shape(cold_run):
+    units = corpus_units()
+    assert cold_run.stats.units == len(units)
+    assert cold_run.stats.failed_units == 0
+    assert cold_run.stats.diagnostics > 0
+    assert cold_run.stats.queries > 0
+    # Every unstable snippet is flagged and no stable snippet is.
+    flagged = {result.name for result in cold_run.results if result.report.bugs}
+    assert flagged == {s.name for s in SNIPPETS}
+
+
+def test_parallel_matches_sequential(cold_run, parallel_run):
+    assert diagnostics_signature(parallel_run) == diagnostics_signature(cold_run)
+    assert parallel_run.stats.units == cold_run.stats.units
+    assert parallel_run.stats.diagnostics == cold_run.stats.diagnostics
+
+
+def test_warm_cache_issues_strictly_fewer_solver_queries(cold_run, warm_run):
+    # Same questions asked...
+    assert warm_run.stats.queries == cold_run.stats.queries
+    # ...but the warm run replays verdicts instead of re-solving.
+    assert warm_run.stats.solver_queries < cold_run.stats.solver_queries
+    assert warm_run.stats.cache_hits > cold_run.stats.cache_hits
+    # And the reports are byte-for-byte the same diagnostics.
+    assert diagnostics_signature(warm_run) == diagnostics_signature(cold_run)
+
+
+def test_check_modules_parallel_equivalence():
+    from repro.api import check_modules_parallel, compile_source
+
+    sources = [s.render("mods") for s in SNIPPETS[:4]]
+    sequential = [check_source(src) for src in sources]
+    modules = [compile_source(src) for src in sources]
+    parallel = check_modules_parallel(modules, workers=2)
+    assert [len(r.bugs) for r in parallel.reports] == \
+        [len(r.bugs) for r in sequential]
+
+
+# -- timeout escalation ---------------------------------------------------------------
+
+#: A budget of one CDCL conflict starves every non-trivial query.
+STARVED = CheckerConfig(max_conflicts=1)
+
+
+def test_starved_budget_times_out_without_escalation():
+    engine = CheckEngine(EngineConfig(workers=0, checker=STARVED,
+                                      escalation_factors=()))
+    result = engine.check_corpus(
+        [("fig1", snippet_by_name("fig1_pointer_overflow_check").render("t"))])
+    assert result.stats.timeouts > 0
+    assert result.stats.escalated_units == 0
+    assert result.stats.diagnostics == 0       # conservatively reports nothing
+
+
+def test_escalation_recovers_starved_functions():
+    engine = CheckEngine(EngineConfig(workers=0, checker=STARVED,
+                                      escalation_factors=(50_000.0,)))
+    result = engine.check_corpus(
+        [("fig1", snippet_by_name("fig1_pointer_overflow_check").render("t"))])
+    assert result.stats.escalated_units == 1
+    assert result.results[0].attempts == 2
+    assert result.stats.timeouts == 0
+    baseline = check_source(snippet_by_name("fig1_pointer_overflow_check").render("t"))
+    assert len(result.bugs) == len(baseline.bugs) > 0
+
+
+def test_escalate_config_scales_budget():
+    config = CheckerConfig(solver_timeout=2.0, max_conflicts=100)
+    scaled = escalate_config(config, 4.0)
+    assert scaled.solver_timeout == 8.0
+    assert scaled.max_conflicts == 400
+    assert config.solver_timeout == 2.0         # original untouched
+    unlimited = escalate_config(CheckerConfig(solver_timeout=None,
+                                              max_conflicts=None), 4.0)
+    assert unlimited.solver_timeout is None
+    assert unlimited.max_conflicts is None
+
+
+# -- work units and error handling ----------------------------------------------------
+
+
+def test_work_unit_requires_exactly_one_payload():
+    with pytest.raises(ValueError):
+        WorkUnit(name="bad")
+    with pytest.raises(ValueError):
+        from repro.api import compile_source
+        WorkUnit(name="bad", source="int f() { return 0; }",
+                 module=compile_source("int g() { return 0; }"))
+
+
+def test_frontend_rejection_is_reported_not_fatal():
+    result = check_corpus([("broken", "int f( {"),
+                           ("fine", "int g(int x) { return x; }")], workers=0)
+    assert result.stats.units == 2
+    assert result.stats.failed_units == 1
+    broken = result.results[0]
+    assert not broken.ok and broken.error
+    assert result.results[1].ok
+
+
+def test_check_work_unit_standalone():
+    unit = WorkUnit(name="u", source=snippet_by_name("fig2_null_check_after_deref").render("t"))
+    result = check_work_unit(unit, CheckerConfig(), cache=SolverQueryCache())
+    assert result.ok
+    assert result.attempts == 1
+    assert len(result.report.bugs) > 0
+    assert result.cache_entries                 # worker-side drain happened
+
+
+# -- JSONL result sink ----------------------------------------------------------------
+
+
+def test_results_jsonl_schema(cold_run):
+    lines = [json.loads(line)
+             for line in open(cold_run._results_path, encoding="utf-8")]
+    units = [line for line in lines if line["type"] == "unit"]
+    runs = [line for line in lines if line["type"] == "run"]
+    assert len(units) == cold_run.stats.units
+    assert len(runs) == 1
+    total = sum(len(line["diagnostics"]) for line in units)
+    assert total == cold_run.stats.diagnostics
+    summary = runs[0]
+    assert summary["queries"] == cold_run.stats.queries
+    assert summary["solver_queries"] == cold_run.stats.solver_queries
+    assert "cache" in summary
+    for line in units:
+        for diagnostic in line["diagnostics"]:
+            # ub_kinds may be empty (no single UB condition isolated), but
+            # the field and a concrete algorithm must always be present.
+            assert "ub_kinds" in diagnostic
+            assert diagnostic["algorithm"]
+
+
+# -- CheckerConfig.describe -----------------------------------------------------------
+
+
+def test_checker_config_describe():
+    text = CheckerConfig(solver_timeout=2.5, inline=False).describe()
+    assert "solver_timeout = 2.5" in text
+    assert "inline = False" in text
+    assert "encoder.partial_division_axioms = True" in text
+    # Every top-level field is present.
+    for name in ("max_conflicts", "minimize_ub_sets", "enable_elimination",
+                 "enable_boolean_oracle", "enable_algebra_oracle", "classify",
+                 "ignore_compiler_generated"):
+        assert name in text
+
+
+def test_checker_config_encoder_options_not_shared():
+    first = CheckerConfig()
+    second = CheckerConfig()
+    assert first.encoder_options is not second.encoder_options
