@@ -5,23 +5,21 @@ workers are added, on a corpus small enough to finish in seconds.  Both runs
 land in the ``BENCH_*`` trajectory so regressions in either path show up;
 the shape assertion is result equivalence, not a speedup (a 2-worker pool
 on a loaded CI box may not beat a warm sequential loop at this corpus size).
+A third target compares incremental solver contexts against scratch solving
+on the engine corpus (same verdicts, fewer bit-blasted clauses).
 """
 
 from repro.api import check_corpus
+from repro.core.checker import CheckerConfig
+from repro.core.report import report_signature as _signature
 from repro.corpus.snippets import SNIPPETS, STABLE_SNIPPETS
+from repro.engine.engine import EngineConfig
 
 
 def _corpus():
     """A small mixed corpus: every other unstable template plus stable padding."""
     snippets = SNIPPETS[::2] + STABLE_SNIPPETS[::2]
     return [(s.name, s.render("scale")) for s in snippets]
-
-
-def _signature(result):
-    return sorted(
-        (d.function, str(d.location), d.algorithm.value,
-         tuple(sorted(k.value for k in set(d.ub_kinds))))
-        for d in result.bugs)
 
 
 def test_engine_sequential(once):
@@ -44,3 +42,22 @@ def test_engine_parallel(once, engine_workers):
     assert _signature(result) == _signature(check_corpus(_corpus(), workers=0))
     print()
     print(f"{workers} workers: {result.stats.as_dict()}")
+
+
+def test_engine_incremental_vs_scratch(once):
+    def run(incremental):
+        config = CheckerConfig(solver_timeout=60.0, incremental=incremental)
+        engine_config = EngineConfig(workers=0, checker=config,
+                                     cache_enabled=False)
+        return check_corpus(_corpus(), engine_config=engine_config)
+
+    def compare():
+        return run(True), run(False)
+
+    incremental, scratch = once(compare)
+    assert _signature(incremental) == _signature(scratch)
+    assert incremental.stats.blasted_clauses < scratch.stats.blasted_clauses
+    assert incremental.stats.restarts <= scratch.stats.restarts
+    print()
+    print(f"incremental: {incremental.stats.as_dict()}")
+    print(f"scratch:     {scratch.stats.as_dict()}")

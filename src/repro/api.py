@@ -12,8 +12,17 @@ Typical use::
     for bug in report.bugs:
         print(bug.describe())
 
+Checking is *incremental* by default: the solver queries for one candidate
+share an assumption-based solver context, and learned clauses plus
+bit-blasted encodings persist per function (docs/SOLVER.md).  Pass
+``CheckerConfig(incremental=False)`` to any helper here to solve every
+query from scratch instead; verdicts are identical in both modes, and the
+per-function reports carry the :class:`~repro.solver.solver.SolverStats`
+counters (contexts, CDCL calls, restarts, blasted clauses) either way.
+
 For corpus-scale work the engine entry points fan translation units out over
-a worker pool with a shared solver-query cache::
+a worker pool with a shared solver-query cache layered above the
+incremental solver::
 
     from repro import check_corpus
 

@@ -49,6 +49,11 @@ class CheckerConfig:
     solver_timeout: float = 5.0
     #: Additional deterministic budget: maximum CDCL conflicts per query.
     max_conflicts: int = 50_000
+    #: Batch related queries into incremental solver contexts (shared base
+    #: asserted once, per-query deltas as assumptions, learned clauses and
+    #: bit-blasted encodings retained).  Disable to solve every query from
+    #: scratch — the reference mode the benchmarks compare against.
+    incremental: bool = True
     #: Inline same-module callees before checking (§4.2).
     inline: bool = True
     #: Suppress diagnostics whose code the compiler generated (macros /
@@ -118,7 +123,8 @@ class StackChecker:
         encoder = FunctionEncoder(function, options=self.config.encoder_options)
         engine = QueryEngine(encoder, timeout=self.config.solver_timeout,
                              max_conflicts=self.config.max_conflicts,
-                             cache=self.query_cache)
+                             cache=self.query_cache,
+                             incremental=self.config.incremental)
         result = FunctionReport(function=function.name)
 
         elimination_findings: List[EliminationFinding] = []
@@ -168,6 +174,12 @@ class StackChecker:
         result.queries = engine.stats.queries
         result.cache_hits = engine.stats.cache_hits
         result.timeouts = engine.stats.timeouts
+        result.contexts = engine.stats.contexts
+        solver_stats = engine.solver_stats
+        result.sat_calls = solver_stats.sat_calls
+        result.restarts = solver_stats.restarts
+        result.blasted_clauses = solver_stats.blasted_clauses
+        result.solver_time = solver_stats.total_time
         result.analysis_time = time.monotonic() - started
         return result
 

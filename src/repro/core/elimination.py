@@ -50,7 +50,13 @@ class EliminationFinding:
 
 def run_elimination(encoder: FunctionEncoder, engine: QueryEngine,
                     skip_empty_blocks: bool = True) -> List[EliminationFinding]:
-    """Run Figure 5 over every block of the encoder's function."""
+    """Run Figure 5 over every block of the encoder's function.
+
+    Both queries for one block — reachability with and without the
+    well-defined assumption Δ — share the reachability condition, so they
+    run in one incremental :class:`~repro.core.queries.QueryContext`: the
+    reach term is asserted once and Δ arrives as a per-query assumption.
+    """
     findings: List[EliminationFinding] = []
     function = encoder.function
     for block in function.blocks:
@@ -60,22 +66,23 @@ def run_elimination(encoder: FunctionEncoder, engine: QueryEngine,
             continue
 
         reach = encoder.block_reach(block)
-        plain_unsat = engine.is_unsat([reach])
-        if plain_unsat is True:
-            findings.append(EliminationFinding(block, trivially_dead=True))
-            continue
-        if plain_unsat is None:
-            # Timeout: conservatively skip (the paper misses such cases too).
-            continue
+        with engine.context([reach]) as ctx:
+            plain_unsat = ctx.is_unsat()
+            if plain_unsat is True:
+                findings.append(EliminationFinding(block, trivially_dead=True))
+                continue
+            if plain_unsat is None:
+                # Timeout: conservatively skip (the paper misses such cases too).
+                continue
 
-        conditions = encoder.block_dominating_ub_conditions(block)
-        if not conditions:
-            continue
-        delta = encoder.well_defined_over(conditions)
-        with_assumption = engine.is_unsat([reach, delta])
-        if with_assumption is True:
-            findings.append(EliminationFinding(
-                block, hypothesis=[reach], conditions=conditions))
+            conditions = encoder.block_dominating_ub_conditions(block)
+            if not conditions:
+                continue
+            delta = encoder.well_defined_over(conditions)
+            with_assumption = ctx.is_unsat([delta])
+            if with_assumption is True:
+                findings.append(EliminationFinding(
+                    block, hypothesis=[reach], conditions=conditions))
     return findings
 
 

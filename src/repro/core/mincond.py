@@ -48,18 +48,21 @@ def minimal_ub_conditions(
     if len(relevant) > max_conditions:
         relevant = relevant[:max_conditions]
 
+    # Every masking query shares the hypothesis H; one incremental context
+    # asserts it once and each masked assumption set arrives as a delta.
     essential: List[UBCondition] = []
-    for masked in relevant:
-        assumption = manager.true()
-        for other in relevant:
-            if other is masked:
-                continue
-            assumption = manager.and_(assumption, manager.not_(other.condition))
-        query = list(hypothesis) + [assumption]
-        result = engine.is_unsat(query)
-        if result is False:
-            # Without this condition the code is no longer dead: essential.
-            essential.append(masked)
+    with engine.context(list(hypothesis)) as ctx:
+        for masked in relevant:
+            assumption = manager.true()
+            for other in relevant:
+                if other is masked:
+                    continue
+                assumption = manager.and_(assumption,
+                                          manager.not_(other.condition))
+            result = ctx.is_unsat([assumption])
+            if result is False:
+                # Without this condition the code is no longer dead: essential.
+                essential.append(masked)
     return MinimalUBSet(essential)
 
 

@@ -1,27 +1,41 @@
 """Query execution for the solver-based optimizer.
 
 Each elimination/simplification decision is one satisfiability query.  The
-:class:`QueryEngine` builds a fresh solver per query (the assertion sets are
-small), conjoins the auxiliary definitions the encoder registered for the
-variables mentioned, applies the per-query timeout (the paper uses 5 s with
-Boolector), and tracks the counters reported in Figure 16 (#queries and
-#query timeouts).
+:class:`QueryEngine` issues them, applies the per-query timeout (the paper
+uses 5 s with Boolector), and tracks the counters reported in Figure 16
+(#queries and #query timeouts).
+
+Queries come in *batches*: for one unstable-code candidate the checker asks
+an elimination or simplification question and then re-asks it under the
+well-defined-program assumption (and, for minimal-UB-set computation, once
+more per dominating UB condition).  Those queries share almost everything —
+only a few conjuncts differ.  A :class:`QueryContext` exploits that: the
+shared base terms (typically the candidate's path condition) are asserted
+once into an incremental solver frame, and each query passes only its delta
+terms as solver *assumptions*.  In incremental mode (the default) one
+persistent :class:`~repro.solver.solver.Solver` is shared by every context
+the engine opens — contexts map to activation-literal frames, so learned
+clauses and bit-blasted encodings carry across the whole function.  With
+``incremental=False`` each query builds a fresh scratch solver, which is the
+reference semantics the incremental path is tested against.
 
 When a :class:`~repro.engine.cache.SolverQueryCache` is attached, every
 query is first content-addressed (structural hash of the query terms plus
 their auxiliary definitions) and looked up; a hit replays the cached verdict
-without building a solver.  ``stats.queries`` keeps counting every question
-asked — the Figure 16 number — while ``stats.solver_queries`` counts only the
-questions that actually reached the solver.
+without touching any solver.  The cache therefore sits *above* the
+incremental layer: a hit skips the context entirely, a miss is solved
+incrementally and the verdict stored.  ``stats.queries`` keeps counting
+every question asked — the Figure 16 number — while ``stats.solver_queries``
+counts only the questions that actually reached a solver.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import List, Optional, Sequence
+from typing import List, Optional, Sequence, Set
 
 from repro.core.encode import FunctionEncoder
-from repro.solver.solver import CheckResult, Solver
+from repro.solver.solver import CheckResult, Solver, SolverStats
 from repro.solver.terms import Term
 
 
@@ -34,6 +48,7 @@ class QueryStats:
     sat: int = 0
     unsat: int = 0
     cache_hits: int = 0
+    contexts: int = 0
     total_time: float = 0.0
 
     @property
@@ -47,7 +62,107 @@ class QueryStats:
         self.sat += other.sat
         self.unsat += other.unsat
         self.cache_hits += other.cache_hits
+        self.contexts += other.contexts
         self.total_time += other.total_time
+
+
+class QueryContext:
+    """One incremental context: shared base terms, per-query deltas.
+
+    Use as a context manager::
+
+        with engine.context([reach]) as ctx:
+            plain = ctx.is_unsat()              # base only
+            stable = ctx.is_unsat([delta])      # base + delta as assumption
+
+    In incremental mode the base terms (plus their auxiliary definitions)
+    live in a pushed frame of the engine's shared solver, and each
+    ``is_unsat`` call passes its deltas as solver assumptions — nothing is
+    re-encoded between queries.  Closing the context pops the frame.  In
+    scratch mode every call builds a fresh solver, reproducing the
+    pre-incremental behavior query for query.
+    """
+
+    def __init__(self, engine: "QueryEngine", base: Sequence[Term]) -> None:
+        self.engine = engine
+        self.base: List[Term] = list(base)
+        self._pushed = False
+        self._asserted: Set[int] = set()
+        self._closed = False
+
+    def __enter__(self) -> "QueryContext":
+        return self
+
+    def __exit__(self, *_exc) -> None:
+        self.close()
+
+    def close(self) -> None:
+        """Pop this context's solver frame (idempotent)."""
+        if self._closed:
+            return
+        self._closed = True
+        if self._pushed:
+            self.engine._shared_solver.pop()
+
+    def is_unsat(self, deltas: Sequence[Term] = ()) -> Optional[bool]:
+        """Decide whether base ∧ deltas (∧ their definitions) is UNSAT.
+
+        Returns True (UNSAT), False (SAT), or None when the query timed out
+        (in which case the checker conservatively assumes nothing).
+        """
+        if self._closed:
+            raise RuntimeError("query context is closed")
+        engine = self.engine
+        full: List[Term] = self.base + list(deltas)
+        definitions = engine.encoder.definitions_for(*full)
+        goal = full + definitions
+
+        key: Optional[str] = None
+        if engine.cache is not None:
+            from repro.engine.cache import canonical_query_key
+
+            key = canonical_query_key(goal)
+            verdict = engine.cache.lookup(key, timeout=engine.timeout,
+                                          max_conflicts=engine.max_conflicts)
+            if verdict is not None:
+                engine.stats.cache_hits += 1
+                return engine._record(verdict)
+
+        if engine.incremental:
+            solver = self._ensure_frame()
+            for definition in definitions:
+                if definition.tid not in self._asserted:
+                    solver.add(definition)
+                    self._asserted.add(definition.tid)
+            before = solver.stats.total_time
+            result = solver.check(assumptions=list(deltas))
+            elapsed = solver.stats.total_time - before
+        else:
+            solver = Solver(engine.encoder.manager, timeout=engine.timeout,
+                            max_conflicts=engine.max_conflicts)
+            for term in goal:
+                solver.add(term)
+            result = solver.check()
+            elapsed = solver.stats.total_time
+            engine._scratch_stats.merge(solver.stats)
+        engine.stats.total_time += elapsed
+
+        verdict = result.value
+        if engine.cache is not None and key is not None:
+            engine.cache.store(key, verdict, timeout=engine.timeout,
+                               max_conflicts=engine.max_conflicts,
+                               elapsed=elapsed)
+        return engine._record(verdict)
+
+    def _ensure_frame(self) -> Solver:
+        solver = self.engine._shared()
+        if not self._pushed:
+            solver.push()
+            self._pushed = True
+            for term in self.base:
+                solver.add(term)
+                self._asserted.add(term.tid)
+        return solver
 
 
 class QueryEngine:
@@ -55,46 +170,56 @@ class QueryEngine:
 
     def __init__(self, encoder: FunctionEncoder, timeout: Optional[float] = 5.0,
                  max_conflicts: Optional[int] = 50_000,
-                 cache: Optional["SolverQueryCache"] = None) -> None:
+                 cache: Optional["SolverQueryCache"] = None,
+                 incremental: bool = True) -> None:
         self.encoder = encoder
         self.timeout = timeout
         self.max_conflicts = max_conflicts
         self.cache = cache
+        self.incremental = incremental
         self.stats = QueryStats()
+        self._shared_solver: Optional[Solver] = None
+        self._scratch_stats = SolverStats()
+
+    # -- contexts ---------------------------------------------------------------
+
+    def context(self, base: Sequence[Term] = ()) -> QueryContext:
+        """Open an incremental context over shared ``base`` terms.
+
+        In scratch mode the context is just a grouping device (every query
+        still builds its own solver), so it is not counted.
+        """
+        if self.incremental:
+            self.stats.contexts += 1
+        return QueryContext(self, base)
 
     def is_unsat(self, terms: Sequence[Term]) -> Optional[bool]:
-        """Decide whether the conjunction of ``terms`` is unsatisfiable.
+        """One-shot query: decide whether the conjunction of ``terms`` is UNSAT.
 
-        Returns True (UNSAT), False (SAT), or None when the query timed out
-        (in which case the checker conservatively assumes nothing).
+        Returns True (UNSAT), False (SAT), or None when the query timed out.
+        Batched callers should prefer :meth:`context`.
         """
-        goal: List[Term] = list(terms)
-        goal.extend(self.encoder.definitions_for(*terms))
+        with self.context(terms) as ctx:
+            return ctx.is_unsat()
 
-        key: Optional[str] = None
-        if self.cache is not None:
-            from repro.engine.cache import canonical_query_key
+    # -- solver plumbing ---------------------------------------------------------
 
-            key = canonical_query_key(goal)
-            verdict = self.cache.lookup(key, timeout=self.timeout,
-                                        max_conflicts=self.max_conflicts)
-            if verdict is not None:
-                self.stats.cache_hits += 1
-                return self._record(verdict)
+    def _shared(self) -> Solver:
+        if self._shared_solver is None:
+            self._shared_solver = Solver(self.encoder.manager,
+                                         timeout=self.timeout,
+                                         max_conflicts=self.max_conflicts,
+                                         incremental=True)
+        return self._shared_solver
 
-        solver = Solver(self.encoder.manager, timeout=self.timeout,
-                        max_conflicts=self.max_conflicts)
-        for term in goal:
-            solver.add(term)
-        result = solver.check()
-        self.stats.total_time += solver.stats.total_time
-
-        verdict = result.value
-        if self.cache is not None and key is not None:
-            self.cache.store(key, verdict, timeout=self.timeout,
-                             max_conflicts=self.max_conflicts,
-                             elapsed=solver.stats.total_time)
-        return self._record(verdict)
+    @property
+    def solver_stats(self) -> SolverStats:
+        """Aggregate solver-level counters across scratch and shared solvers."""
+        merged = SolverStats()
+        merged.merge(self._scratch_stats)
+        if self._shared_solver is not None:
+            merged.merge(self._shared_solver.stats)
+        return merged
 
     def _record(self, verdict: str) -> Optional[bool]:
         """Update counters for one answered query and map verdict to bool."""

@@ -80,6 +80,27 @@ class Diagnostic:
         return f"<Diagnostic {self.function} {self.location} {self.algorithm.name}>"
 
 
+def diagnostic_signature(diagnostic: Diagnostic) -> tuple:
+    """Stable, comparable identity of one diagnostic.
+
+    Used by tests and benchmarks to assert that two checker runs (e.g.
+    sequential vs. parallel, incremental vs. scratch) report the same bugs.
+    """
+    return (diagnostic.function, str(diagnostic.location),
+            diagnostic.algorithm.value, diagnostic.message,
+            diagnostic.fragment, diagnostic.replacement,
+            tuple(sorted(k.value for k in set(diagnostic.ub_kinds))),
+            diagnostic.classification)
+
+
+def report_signature(result) -> List[tuple]:
+    """Sorted diagnostic signatures of anything exposing ``.bugs``.
+
+    Accepts a :class:`BugReport` or an engine result alike.
+    """
+    return sorted(diagnostic_signature(d) for d in result.bugs)
+
+
 @dataclass
 class FunctionReport:
     """Diagnostics and counters for one analyzed function."""
@@ -91,6 +112,12 @@ class FunctionReport:
     timeouts: int = 0
     analysis_time: float = 0.0
     suppressed_compiler_origin: int = 0     # warnings dropped per §4.2/§4.5
+    # Solver-level counters (see repro.solver.solver.SolverStats / docs/SOLVER.md):
+    contexts: int = 0                       # incremental query contexts opened
+    sat_calls: int = 0                      # queries that reached the CDCL loop
+    restarts: int = 0                       # CDCL restarts across those calls
+    blasted_clauses: int = 0                # CNF clauses produced by bit-blasting
+    solver_time: float = 0.0                # seconds spent inside the solver
 
     @property
     def solver_queries(self) -> int:
@@ -129,6 +156,26 @@ class BugReport:
         return sum(f.timeouts for f in self.functions)
 
     @property
+    def contexts(self) -> int:
+        return sum(f.contexts for f in self.functions)
+
+    @property
+    def sat_calls(self) -> int:
+        return sum(f.sat_calls for f in self.functions)
+
+    @property
+    def restarts(self) -> int:
+        return sum(f.restarts for f in self.functions)
+
+    @property
+    def blasted_clauses(self) -> int:
+        return sum(f.blasted_clauses for f in self.functions)
+
+    @property
+    def solver_time(self) -> float:
+        return sum(f.solver_time for f in self.functions)
+
+    @property
     def analysis_time(self) -> float:
         return sum(f.analysis_time for f in self.functions)
 
@@ -154,6 +201,11 @@ class BugReport:
             lines.append("")
         lines.append(f"{len(self.bugs)} warning(s), {self.queries} solver queries, "
                      f"{self.timeouts} timeouts")
+        lines.append(f"solver work: {self.sat_calls} CDCL calls over "
+                     f"{self.contexts} incremental contexts, "
+                     f"{self.restarts} restarts, "
+                     f"{self.blasted_clauses} bit-blasted clauses, "
+                     f"{self.solver_time:.2f}s in the solver")
         return "\n".join(lines)
 
     def merge(self, other: "BugReport") -> None:

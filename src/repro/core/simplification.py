@@ -195,26 +195,30 @@ def _try_simplify(encoder: FunctionEncoder, engine: QueryEngine,
     expression = encoder.comparison_bool(inst)
     reach = encoder.instruction_reach(inst)
 
-    for proposal in oracle.propose(encoder, inst):
-        disagreement = manager.xor(expression, proposal.term)
-        if disagreement.is_const() and not disagreement.value:
-            # e is literally e' already; nothing to simplify.
-            continue
+    # All queries for this comparison share its reachability condition; one
+    # incremental context asserts it once, and each proposal's disagreement
+    # term (and the well-defined assumption Δ) arrives as an assumption.
+    with engine.context([reach]) as ctx:
+        for proposal in oracle.propose(encoder, inst):
+            disagreement = manager.xor(expression, proposal.term)
+            if disagreement.is_const() and not disagreement.value:
+                # e is literally e' already; nothing to simplify.
+                continue
 
-        trivially = engine.is_unsat([disagreement, reach])
-        if trivially is True:
-            return SimplificationFinding(
-                inst, oracle.algorithm, proposal, trivially_simplified=True)
-        if trivially is None:
-            continue
+            trivially = ctx.is_unsat([disagreement])
+            if trivially is True:
+                return SimplificationFinding(
+                    inst, oracle.algorithm, proposal, trivially_simplified=True)
+            if trivially is None:
+                continue
 
-        conditions = encoder.dominating_ub_conditions(inst)
-        if not conditions:
-            continue
-        delta = encoder.well_defined_over(conditions)
-        unstable = engine.is_unsat([disagreement, reach, delta])
-        if unstable is True:
-            return SimplificationFinding(
-                inst, oracle.algorithm, proposal,
-                hypothesis=[disagreement, reach], conditions=conditions)
+            conditions = encoder.dominating_ub_conditions(inst)
+            if not conditions:
+                continue
+            delta = encoder.well_defined_over(conditions)
+            unstable = ctx.is_unsat([disagreement, delta])
+            if unstable is True:
+                return SimplificationFinding(
+                    inst, oracle.algorithm, proposal,
+                    hypothesis=[disagreement, reach], conditions=conditions)
     return None

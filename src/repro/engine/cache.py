@@ -24,6 +24,14 @@ Three design points matter for soundness:
   ``unknown`` verdict is only replayed when the cached budget covers the
   requested one — which is exactly what lets the engine's timeout-escalation
   retries re-solve instead of replaying a stale timeout.
+
+The cache sits *above* the incremental solving layer: every logical query —
+batched into an incremental context or not — is content-addressed over the
+full term set it is equivalent to (base + deltas + definitions), looked up
+first, and only solved (incrementally) on a miss.  A hit therefore skips
+both bit-blasting and CDCL; a miss pays the (assumption-based, mostly
+pre-encoded) incremental solve and stores the verdict.  See docs/SOLVER.md
+for the layer diagram.
 """
 
 from __future__ import annotations

@@ -75,6 +75,12 @@ class RunStats:
     workers: int = 0
     wall_clock: float = 0.0
     analysis_time: float = 0.0
+    # Aggregated per-query SolverStats (see docs/SOLVER.md):
+    contexts: int = 0
+    sat_calls: int = 0
+    restarts: int = 0
+    blasted_clauses: int = 0
+    solver_time: float = 0.0
 
     def as_dict(self) -> Dict[str, object]:
         return {
@@ -85,6 +91,12 @@ class RunStats:
             "escalated_units": self.escalated_units, "workers": self.workers,
             "wall_clock": round(self.wall_clock, 6),
             "analysis_time": round(self.analysis_time, 6),
+            "solver": {
+                "contexts": self.contexts, "sat_calls": self.sat_calls,
+                "restarts": self.restarts,
+                "blasted_clauses": self.blasted_clauses,
+                "solver_time": round(self.solver_time, 6),
+            },
         }
 
 
@@ -256,6 +268,11 @@ class CheckEngine:
             stats.cache_hits += report.cache_hits
             stats.timeouts += report.timeouts
             stats.analysis_time += report.analysis_time
+            stats.contexts += report.contexts
+            stats.sat_calls += report.sat_calls
+            stats.restarts += report.restarts
+            stats.blasted_clauses += report.blasted_clauses
+            stats.solver_time += report.solver_time
         stats.solver_queries = stats.queries - stats.cache_hits
         return stats
 

@@ -2,9 +2,13 @@
 
 One line per completed work unit (written as results arrive, so a crashed
 run still leaves everything finished on disk) plus a final ``run`` summary
-line with the aggregate statistics.  The schemas are documented in
-``docs/ENGINE.md`` and deliberately contain only plain JSON types so the
-files can be post-processed with ``jq`` or loaded into a dataframe.
+line with the aggregate statistics.  Per-function and per-run records carry
+the solver-level counters (incremental contexts, CDCL calls, restarts,
+bit-blasted clauses, solver time) next to the Figure 16 query counts, so
+incremental-vs-scratch speedups are observable straight from the JSONL.
+The schemas are documented in ``docs/ENGINE.md`` and deliberately contain
+only plain JSON types so the files can be post-processed with ``jq`` or
+loaded into a dataframe.
 """
 
 from __future__ import annotations
@@ -48,6 +52,11 @@ def report_to_dict(name: str, report: BugReport, attempts: int = 1,
                 "queries": fr.queries,
                 "cache_hits": fr.cache_hits,
                 "timeouts": fr.timeouts,
+                "contexts": fr.contexts,
+                "sat_calls": fr.sat_calls,
+                "restarts": fr.restarts,
+                "blasted_clauses": fr.blasted_clauses,
+                "solver_time": round(fr.solver_time, 6),
                 "analysis_time": round(fr.analysis_time, 6),
             }
             for fr in report.functions
@@ -56,6 +65,11 @@ def report_to_dict(name: str, report: BugReport, attempts: int = 1,
         "queries": report.queries,
         "cache_hits": report.cache_hits,
         "timeouts": report.timeouts,
+        "contexts": report.contexts,
+        "sat_calls": report.sat_calls,
+        "restarts": report.restarts,
+        "blasted_clauses": report.blasted_clauses,
+        "solver_time": round(report.solver_time, 6),
         "analysis_time": round(report.analysis_time, 6),
     }
 

@@ -8,6 +8,14 @@ retry with an escalated per-query budget while any function still blows it.
 Everything it takes and returns pickles, which is what lets
 :class:`~repro.engine.engine.CheckEngine` fan units out over a
 ``multiprocessing`` pool.
+
+Each function is checked through incremental solver contexts (see
+:mod:`repro.core.queries`); the per-function :class:`FunctionReport`
+carries the aggregated :class:`~repro.solver.solver.SolverStats` counters,
+and escalation retries replace a starved function's report wholesale — so
+unit results always reflect the budget that actually produced them.
+``escalate_config`` copies every checker field, including ``incremental``,
+so retries run in the same solving mode as the base pass.
 """
 
 from __future__ import annotations

@@ -8,16 +8,27 @@ vectors (QF_BV).  This package provides a self-contained replacement:
   vectors (constants, variables, arithmetic, comparisons, shifts, ite, ...).
 * :mod:`repro.solver.simplify` — structural simplification and constant
   folding, applied while terms are built.
-* :mod:`repro.solver.cnf` — CNF container and Tseitin transformation helpers.
-* :mod:`repro.solver.bitblast` — bit-blasting of bit-vector terms to CNF.
-* :mod:`repro.solver.sat` — a CDCL SAT solver (two-watched literals, VSIDS,
-  restarts).
+* :mod:`repro.solver.cnf` — CNF container and Tseitin transformation
+  helpers, including activation-literal guarded assertions.
+* :mod:`repro.solver.bitblast` — bit-blasting of bit-vector terms to CNF,
+  memoized per hash-consed term id.
+* :mod:`repro.solver.sat` — an incremental CDCL SAT solver (two-watched
+  literals, VSIDS, restarts, assumptions, per-call budgets).
 * :mod:`repro.solver.solver` — the :class:`Solver` facade with assertion
   stacks, models and per-query timeouts.
 
 The public API mirrors the small subset of an SMT solver API that STACK
 needs: build terms via :class:`TermManager`, assert them on a
-:class:`Solver`, and call :meth:`Solver.check`.
+:class:`Solver`, and call :meth:`Solver.check`.  The incremental entry
+points (``Solver(..., incremental=True)``) are first-class:
+``check(assumptions=...)`` decides a query under per-call assumptions over
+a persistent clause database, ``push``/``pop`` scope assertions via
+activation literals without CNF rebuilds, learned clauses and bit-blasted
+encodings are retained across queries, and ``failed_assumptions()`` reports
+(core-free) which per-call terms an UNSAT answer relied on.
+:class:`SolverStats` exposes the work done — restarts, blasted clauses,
+blast-cache hits — and :func:`is_unsat` is a one-shot convenience wrapper.
+See docs/SOLVER.md for the architecture and a tuning table.
 """
 
 from repro.solver.terms import (
@@ -29,7 +40,13 @@ from repro.solver.terms import (
     TermManager,
 )
 from repro.solver.sat import SatResult, SatSolver
-from repro.solver.solver import CheckResult, Model, Solver, SolverStats
+from repro.solver.solver import (
+    CheckResult,
+    Model,
+    Solver,
+    SolverStats,
+    is_unsat,
+)
 
 __all__ = [
     "BV",
@@ -44,4 +61,5 @@ __all__ = [
     "Sort",
     "Term",
     "TermManager",
+    "is_unsat",
 ]

@@ -26,6 +26,11 @@ class BitBlaster:
         self._bv_cache: Dict[int, List[int]] = {}
         self._var_bits: Dict[str, List[int]] = {}
         self._var_bool: Dict[str, int] = {}
+        # Encodings are memoized per hash-consed term id for the lifetime of
+        # the blaster; on a persistent (incremental) solver, shared subterms
+        # across queries are encoded once.  The counters make that visible.
+        self.cache_hits = 0
+        self.cache_misses = 0
 
     # -- public API -----------------------------------------------------------
 
@@ -42,7 +47,9 @@ class BitBlaster:
             raise TypeError(f"expected a boolean term, got sort {term.sort}")
         cached = self._bool_cache.get(term.tid)
         if cached is not None:
+            self.cache_hits += 1
             return cached
+        self.cache_misses += 1
         lit = self._blast_bool_node(term)
         self._bool_cache[term.tid] = lit
         return lit
@@ -53,7 +60,9 @@ class BitBlaster:
             raise TypeError(f"expected a bit-vector term, got sort {term.sort}")
         cached = self._bv_cache.get(term.tid)
         if cached is not None:
+            self.cache_hits += 1
             return cached
+        self.cache_misses += 1
         bits = self._blast_bv_node(term)
         if len(bits) != term.width:
             raise AssertionError(

@@ -9,7 +9,7 @@ encoders never need to special-case them.
 
 from __future__ import annotations
 
-from typing import Iterable, List, Sequence
+from typing import Iterable, List, Optional, Sequence
 
 from repro.solver.sat import SatSolver
 
@@ -132,6 +132,17 @@ class CnfBuilder:
         diff = [self.xor_gate(a, b) for a, b in zip(a_bits, b_bits)]
         return -self.or_many(diff)
 
-    def assert_lit(self, lit: int) -> None:
-        """Force a literal to be true."""
-        self.add_clause([lit])
+    def assert_lit(self, lit: int, guard: Optional[int] = None) -> None:
+        """Force a literal to be true.
+
+        With ``guard`` (an activation literal) the assertion only takes
+        effect while ``guard`` is assumed true: the clause added is
+        ``(-guard ∨ lit)``, and permanently asserting ``-guard`` later
+        retires the assertion without touching the clause database — this is
+        how the incremental :class:`~repro.solver.solver.Solver` implements
+        push/pop without CNF rebuilds.
+        """
+        if guard is None:
+            self.add_clause([lit])
+        else:
+            self.add_clause([-guard, lit])

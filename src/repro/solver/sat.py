@@ -9,6 +9,16 @@ the standard conflict-driven clause-learning loop:
 * Luby-sequence restarts,
 * learned-clause deletion based on activity.
 
+The solver is *incremental*: ``solve`` may be called repeatedly on the same
+instance, clauses may be added between calls, and each call may pass a set
+of assumption literals that hold only for that call.  Learned clauses,
+variable activities, and saved phases persist across calls, which is what
+makes closely related queries cheap after the first one.  Resource budgets
+(``max_conflicts``, ``timeout``) are per call, and exhausting one leaves the
+solver reusable.  When a call returns UNSAT because an assumption literal
+was refuted, ``failed_assumption`` names it and the clause database stays
+consistent (``ok`` remains True).
+
 Literals use the DIMACS convention: variable ``v`` (a positive integer) is
 represented by the literals ``v`` and ``-v``.  The solver is deliberately
 dependency-free so that the whole reproduction runs on a stock Python
@@ -75,6 +85,10 @@ class SatSolver:
         self.conflicts = 0
         self.decisions = 0
         self.propagations = 0
+        self.restarts = 0
+        #: The assumption literal whose refutation caused the last UNSAT
+        #: answer, or None when the clause database itself is inconsistent.
+        self.failed_assumption: Optional[int] = None
 
     # -- problem construction ---------------------------------------------
 
@@ -95,6 +109,10 @@ class SatSolver:
         """Add a clause; returns False if the formula is trivially UNSAT."""
         if not self.ok:
             return False
+        # A previous SAT answer leaves its model on the trail; root-level
+        # simplification below is only sound against root-level assignments.
+        if self.trail_lim:
+            self._cancel_until(0)
         seen = set()
         out: List[int] = []
         for lit in lits:
@@ -326,13 +344,19 @@ class SatSolver:
         max_conflicts: Optional[int] = None,
         timeout: Optional[float] = None,
     ) -> SatResult:
-        """Decide satisfiability under optional assumptions and budgets."""
+        """Decide satisfiability under optional assumptions and budgets.
+
+        ``max_conflicts`` and ``timeout`` are budgets for *this call*; the
+        cumulative ``conflicts`` counter keeps growing across calls.
+        """
+        self.failed_assumption = None
         if not self.ok:
             return SatResult.UNSAT
         deadline = None if timeout is None else time.monotonic() + timeout
         restart_idx = 1
         conflict_budget = 100 * self._luby(restart_idx)
         conflicts_here = 0
+        conflicts_at_entry = self.conflicts
         max_learned = max(1000, len(self.clauses) // 2)
 
         self._cancel_until(0)
@@ -367,12 +391,14 @@ class SatSolver:
             if deadline is not None and time.monotonic() > deadline:
                 self._cancel_until(0)
                 return SatResult.UNKNOWN
-            if max_conflicts is not None and self.conflicts >= max_conflicts:
+            if max_conflicts is not None and \
+                    self.conflicts - conflicts_at_entry >= max_conflicts:
                 self._cancel_until(0)
                 return SatResult.UNKNOWN
             if conflicts_here >= conflict_budget:
                 conflicts_here = 0
                 restart_idx += 1
+                self.restarts += 1
                 conflict_budget = 100 * self._luby(restart_idx)
                 self._cancel_until(len(assumptions) if assumptions else 0)
                 continue
@@ -385,6 +411,10 @@ class SatSolver:
                     self.trail_lim.append(len(self.trail))
                     continue
                 if value is False:
+                    # The clause database refutes this assumption: UNSAT
+                    # relative to the assumptions, but the solver stays
+                    # consistent and reusable.
+                    self.failed_assumption = lit
                     self._cancel_until(0)
                     return SatResult.UNSAT
                 self.trail_lim.append(len(self.trail))

@@ -2,9 +2,27 @@
 
 The :class:`Solver` provides the small slice of an SMT solver API that STACK
 needs: assert boolean terms over bit vectors, check satisfiability with a
-per-query timeout, and extract models.  Each ``check`` call builds a fresh
-SAT instance from the current assertion set, which keeps the implementation
-simple and deterministic (the assertion sets the checker produces are small).
+per-query timeout, and extract models.
+
+Two operating modes exist:
+
+* **scratch** (``incremental=False``) — every ``check`` builds a fresh SAT
+  instance from the current assertion set.  Simple, stateless between
+  queries, and the reference semantics the incremental mode is tested
+  against.
+* **incremental** (``incremental=True``) — one SAT instance, one CNF, and
+  one bit-blaster persist for the solver's lifetime.  Assertions are guarded
+  by per-frame *activation literals*, so ``push``/``pop`` never rebuild CNF:
+  a pop permanently asserts the negated activation literal, retiring the
+  frame's constraints while keeping every learned clause and every
+  bit-blasted encoding.  ``check(assumptions=...)`` passes per-query deltas
+  straight to the SAT solver as assumption literals, which is how the
+  checker batches the closely related elimination/simplification queries of
+  one candidate into one context.
+
+Both modes share the same pre-pass: the asserted conjunction is structurally
+simplified (deciding many queries outright) and a handful of concrete
+assignments are tried before any bit-blasting happens.
 """
 
 from __future__ import annotations
@@ -12,7 +30,7 @@ from __future__ import annotations
 import enum
 import time
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence
+from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.solver.bitblast import BitBlaster
 from repro.solver.cnf import CnfBuilder
@@ -31,7 +49,13 @@ class CheckResult(enum.Enum):
 
 @dataclass
 class SolverStats:
-    """Counters accumulated across all queries issued to a solver."""
+    """Counters accumulated across all queries issued to a solver.
+
+    The first block counts queries and how they were decided; the second
+    block exposes the work the CDCL/bit-blasting layers did, which is what
+    makes the incremental-vs-scratch comparison observable in run stats
+    (see docs/SOLVER.md for a tuning table).
+    """
 
     queries: int = 0
     sat: int = 0
@@ -39,6 +63,15 @@ class SolverStats:
     unknown: int = 0
     decided_by_simplification: int = 0
     total_time: float = 0.0
+
+    sat_calls: int = 0            # queries that reached the CDCL loop
+    restarts: int = 0             # CDCL restarts across those calls
+    conflicts: int = 0
+    decisions: int = 0
+    propagations: int = 0
+    blasted_clauses: int = 0      # CNF clauses produced by bit-blasting
+    blast_hits: int = 0           # term encodings reused from the blast cache
+    assumption_failures: int = 0  # UNSAT answers caused by an assumption
 
     def record(self, result: CheckResult, elapsed: float, simplified: bool) -> None:
         self.queries += 1
@@ -51,6 +84,38 @@ class SolverStats:
             self.unsat += 1
         else:
             self.unknown += 1
+
+    def merge(self, other: "SolverStats") -> None:
+        """Accumulate another stats block into this one."""
+        self.queries += other.queries
+        self.sat += other.sat
+        self.unsat += other.unsat
+        self.unknown += other.unknown
+        self.decided_by_simplification += other.decided_by_simplification
+        self.total_time += other.total_time
+        self.sat_calls += other.sat_calls
+        self.restarts += other.restarts
+        self.conflicts += other.conflicts
+        self.decisions += other.decisions
+        self.propagations += other.propagations
+        self.blasted_clauses += other.blasted_clauses
+        self.blast_hits += other.blast_hits
+        self.assumption_failures += other.assumption_failures
+
+    def as_dict(self) -> Dict[str, object]:
+        """Plain-JSON view used by the engine's result sink."""
+        return {
+            "queries": self.queries, "sat": self.sat, "unsat": self.unsat,
+            "unknown": self.unknown,
+            "decided_by_simplification": self.decided_by_simplification,
+            "total_time": round(self.total_time, 6),
+            "sat_calls": self.sat_calls, "restarts": self.restarts,
+            "conflicts": self.conflicts, "decisions": self.decisions,
+            "propagations": self.propagations,
+            "blasted_clauses": self.blasted_clauses,
+            "blast_hits": self.blast_hits,
+            "assumption_failures": self.assumption_failures,
+        }
 
 
 class Model:
@@ -76,6 +141,21 @@ class Model:
         return f"Model({items})"
 
 
+@dataclass
+class _Frame:
+    """One assertion frame of the incremental solver.
+
+    ``act`` is the frame's activation literal; it is allocated lazily, the
+    first time a term of this frame is encoded.  Every assertion of the
+    frame becomes the guarded clause ``(-act ∨ lit)``, and each check
+    assumes ``act``; popping the frame permanently asserts ``-act``.
+    """
+
+    terms: List[Term] = field(default_factory=list)
+    act: Optional[int] = None
+    encoded: int = 0              # how many terms are already in the CNF
+
+
 class Solver:
     """Bit-vector satisfiability solver with an assertion stack.
 
@@ -91,6 +171,11 @@ class Solver:
     max_conflicts:
         Optional conflict budget per query, an additional determinism-friendly
         resource limit used by tests.
+    incremental:
+        Keep one SAT instance alive across ``check`` calls: learned clauses
+        are retained, bit-blasted encodings are memoized per hash-consed
+        term id, and push/pop is implemented with activation literals.  A
+        budget-exhausted (UNKNOWN) query leaves the solver reusable.
     """
 
     def __init__(
@@ -98,14 +183,21 @@ class Solver:
         manager: Optional[TermManager] = None,
         timeout: Optional[float] = 5.0,
         max_conflicts: Optional[int] = 200_000,
+        incremental: bool = False,
     ) -> None:
         self.manager = manager if manager is not None else TermManager()
         self.timeout = timeout
         self.max_conflicts = max_conflicts
+        self.incremental = incremental
         self.stats = SolverStats()
-        self._assertions: List[Term] = []
-        self._stack: List[int] = []
+        self._frames: List[_Frame] = [_Frame()]
         self._last_model: Optional[Model] = None
+        self._failed_assumptions: List[Term] = []
+        # Persistent engines (incremental mode), created on first use.
+        self._sat: Optional[SatSolver] = None
+        self._cnf: Optional[CnfBuilder] = None
+        self._blaster: Optional[BitBlaster] = None
+        self._simplified: Dict[int, Term] = {}
 
     # -- assertion stack --------------------------------------------------------
 
@@ -113,26 +205,40 @@ class Solver:
         """Assert a boolean term."""
         if not term.sort.is_bool():
             raise TypeError("only boolean terms can be asserted")
-        self._assertions.append(term)
+        self._frames[-1].terms.append(term)
 
     def push(self) -> None:
-        """Push a backtracking point."""
-        self._stack.append(len(self._assertions))
+        """Push a backtracking point (a new assertion frame)."""
+        self._frames.append(_Frame())
 
     def pop(self) -> None:
-        """Pop to the most recent backtracking point."""
-        if not self._stack:
+        """Pop to the most recent backtracking point.
+
+        In incremental mode the popped frame's activation literal is
+        permanently negated, which retires its assertions without discarding
+        learned clauses or encodings.
+        """
+        if len(self._frames) == 1:
             raise RuntimeError("pop without matching push")
-        size = self._stack.pop()
-        del self._assertions[size:]
+        frame = self._frames.pop()
+        if frame.act is not None and self._cnf is not None:
+            self._cnf.add_clause([-frame.act])
 
     def assertions(self) -> List[Term]:
-        return list(self._assertions)
+        out: List[Term] = []
+        for frame in self._frames:
+            out.extend(frame.terms)
+        return out
 
     def reset(self) -> None:
-        self._assertions.clear()
-        self._stack.clear()
+        """Drop every assertion, frame, and (incremental) solver state."""
+        self._frames = [_Frame()]
         self._last_model = None
+        self._failed_assumptions = []
+        self._sat = None
+        self._cnf = None
+        self._blaster = None
+        self._simplified = {}
 
     # -- checking ----------------------------------------------------------------
 
@@ -140,22 +246,42 @@ class Solver:
         self,
         extra: Sequence[Term] = (),
         timeout: Optional[float] = None,
+        assumptions: Sequence[Term] = (),
     ) -> CheckResult:
-        """Decide satisfiability of the asserted terms plus ``extra``."""
+        """Decide satisfiability of the asserted terms plus ``extra``.
+
+        ``assumptions`` (and ``extra``, which is treated identically) hold
+        only for this call.  In incremental mode they become SAT-level
+        assumption literals over the persistent clause database; after an
+        UNSAT answer :meth:`failed_assumptions` reports the per-call terms
+        the refutation relied on (unminimized — no UNSAT core extraction).
+        """
         start = time.monotonic()
         effective_timeout = self.timeout if timeout is None else timeout
         mgr = self.manager
+        deltas = list(extra) + list(assumptions)
+        self._failed_assumptions = []
 
-        terms = list(self._assertions) + list(extra)
-        conjunction = mgr.true()
-        for t in terms:
-            conjunction = mgr.and_(conjunction, t)
-        conjunction = simplify(mgr, conjunction)
+        terms = self.assertions() + deltas
+        if self.incremental:
+            # Per-term simplification is memoized for the solver's lifetime,
+            # so repeated checks over a large base only pay dictionary
+            # lookups here; conjoining the simplified terms still applies
+            # the constructor-level folding (constants, complements) that
+            # decides trivial queries outright.
+            conjunction = mgr.and_(*[self._simplify_term(t) for t in terms])
+        else:
+            conjunction = mgr.true()
+            for t in terms:
+                conjunction = mgr.and_(conjunction, t)
+            conjunction = simplify(mgr, conjunction)
 
         if conjunction.is_const():
             result = CheckResult.SAT if conjunction.value else CheckResult.UNSAT
             if result is CheckResult.SAT:
                 self._last_model = Model(self._default_model(terms))
+            else:
+                self._note_failure(deltas)
             self.stats.record(result, time.monotonic() - start, simplified=True)
             return result
 
@@ -169,6 +295,38 @@ class Solver:
                               simplified=True)
             return CheckResult.SAT
 
+        if self.incremental:
+            result = self._check_incremental(deltas, effective_timeout, start)
+        else:
+            result = self._check_scratch(conjunction, terms, deltas,
+                                         effective_timeout, start)
+        self.stats.record(result, time.monotonic() - start, simplified=False)
+        return result
+
+    def model(self) -> Model:
+        """Model of the last SAT query."""
+        if self._last_model is None:
+            raise RuntimeError("no model available; last check was not SAT")
+        return self._last_model
+
+    def failed_assumptions(self) -> List[Term]:
+        """Per-call terms the last UNSAT answer relied on.
+
+        This is assumption *failure reporting*, not an UNSAT core: the list
+        is not minimized.  When the SAT layer identifies the specific
+        assumption literal it refuted, the list narrows to the terms that
+        produced that literal; otherwise every per-call term is reported.
+        An empty list after UNSAT means the asserted frames themselves are
+        inconsistent.
+        """
+        return list(self._failed_assumptions)
+
+    # -- scratch mode ------------------------------------------------------------
+
+    def _check_scratch(self, conjunction: Term, terms: Sequence[Term],
+                       deltas: Sequence[Term],
+                       effective_timeout: Optional[float],
+                       start: float) -> CheckResult:
         sat = SatSolver()
         cnf = CnfBuilder(sat)
         blaster = BitBlaster(cnf)
@@ -178,24 +336,108 @@ class Solver:
         if effective_timeout is not None:
             remaining = max(0.0, effective_timeout - (time.monotonic() - start))
         sat_result = sat.solve(max_conflicts=self.max_conflicts, timeout=remaining)
+        self._account_sat_work(sat, cnf, blaster, 0, 0, 0, 0, 0, 0)
 
         if sat_result is SatResult.SAT:
-            result = CheckResult.SAT
             self._last_model = self._extract_model(sat, blaster, terms)
-        elif sat_result is SatResult.UNSAT:
-            result = CheckResult.UNSAT
+            return CheckResult.SAT
+        if sat_result is SatResult.UNSAT:
             self._last_model = None
-        else:
-            result = CheckResult.UNKNOWN
-            self._last_model = None
-        self.stats.record(result, time.monotonic() - start, simplified=False)
-        return result
+            self._note_failure(deltas)
+            return CheckResult.UNSAT
+        self._last_model = None
+        return CheckResult.UNKNOWN
 
-    def model(self) -> Model:
-        """Model of the last SAT query."""
-        if self._last_model is None:
-            raise RuntimeError("no model available; last check was not SAT")
-        return self._last_model
+    # -- incremental mode --------------------------------------------------------
+
+    def _ensure_engines(self) -> None:
+        if self._sat is None:
+            self._sat = SatSolver()
+            self._cnf = CnfBuilder(self._sat)
+            self._blaster = BitBlaster(self._cnf)
+
+    def _simplify_term(self, term: Term) -> Term:
+        cached = self._simplified.get(term.tid)
+        if cached is None:
+            cached = simplify(self.manager, term)
+            self._simplified[term.tid] = cached
+        return cached
+
+    def _encode_pending(self) -> None:
+        """Encode assertions added since the last check, frame by frame."""
+        for frame in self._frames:
+            if frame.encoded == len(frame.terms):
+                continue
+            if frame.act is None:
+                frame.act = self._cnf.new_lit()
+            for term in frame.terms[frame.encoded:]:
+                lit = self._blaster.blast_bool(self._simplify_term(term))
+                self._cnf.assert_lit(lit, guard=frame.act)
+            frame.encoded = len(frame.terms)
+
+    def _check_incremental(self, deltas: Sequence[Term],
+                           effective_timeout: Optional[float],
+                           start: float) -> CheckResult:
+        self._ensure_engines()
+        sat, cnf, blaster = self._sat, self._cnf, self._blaster
+        clauses0 = cnf.num_clauses
+        hits0 = blaster.cache_hits
+        restarts0, conflicts0 = sat.restarts, sat.conflicts
+        decisions0, propagations0 = sat.decisions, sat.propagations
+
+        self._encode_pending()
+        delta_pairs: List[Tuple[Term, int]] = [
+            (term, blaster.blast_bool(self._simplify_term(term)))
+            for term in deltas]
+        assume = [frame.act for frame in self._frames if frame.act is not None]
+        assume.extend(lit for _term, lit in delta_pairs)
+
+        remaining = None
+        if effective_timeout is not None:
+            remaining = max(0.0, effective_timeout - (time.monotonic() - start))
+        sat_result = sat.solve(assumptions=assume,
+                               max_conflicts=self.max_conflicts,
+                               timeout=remaining)
+        self._account_sat_work(sat, cnf, blaster, restarts0, conflicts0,
+                               decisions0, propagations0, clauses0, hits0)
+
+        if sat_result is SatResult.SAT:
+            self._last_model = self._extract_model(sat, blaster,
+                                                   self.assertions() + list(deltas))
+            return CheckResult.SAT
+        if sat_result is SatResult.UNSAT:
+            self._last_model = None
+            failed_lit = sat.failed_assumption
+            if failed_lit is not None and any(lit == failed_lit
+                                              for _t, lit in delta_pairs):
+                self._failed_assumptions = [t for t, lit in delta_pairs
+                                            if lit == failed_lit]
+                self.stats.assumption_failures += 1
+            else:
+                self._note_failure(deltas)
+            return CheckResult.UNSAT
+        self._last_model = None
+        return CheckResult.UNKNOWN
+
+    # -- stats / failure bookkeeping ---------------------------------------------
+
+    def _account_sat_work(self, sat: SatSolver, cnf: CnfBuilder,
+                          blaster: BitBlaster, restarts0: int, conflicts0: int,
+                          decisions0: int, propagations0: int,
+                          clauses0: int, hits0: int) -> None:
+        self.stats.sat_calls += 1
+        self.stats.restarts += sat.restarts - restarts0
+        self.stats.conflicts += sat.conflicts - conflicts0
+        self.stats.decisions += sat.decisions - decisions0
+        self.stats.propagations += sat.propagations - propagations0
+        self.stats.blasted_clauses += cnf.num_clauses - clauses0
+        self.stats.blast_hits += blaster.cache_hits - hits0
+
+    def _note_failure(self, deltas: Sequence[Term]) -> None:
+        """Record the (unminimized) per-call terms behind an UNSAT answer."""
+        if deltas:
+            self._failed_assumptions = list(deltas)
+            self.stats.assumption_failures += 1
 
     # -- helpers -------------------------------------------------------------------
 

@@ -11,6 +11,14 @@ The operator set covers what the STACK queries need: bit-vector arithmetic
 (including the wrap-around semantics the paper's ``C*`` dialect assumes),
 signed/unsigned comparisons, shifts, zero/sign extension, extraction,
 concatenation, if-then-else, and the usual boolean connectives.
+
+Each term carries a manager-unique, stable id (``tid``).  Several layers
+key memoization on it: the structural simplifier, the solver-query cache's
+canonical serialization, and — critically for incremental solving — the
+bit-blaster, which encodes every hash-consed subterm at most once per
+solver lifetime.  Ids are only comparable within one manager; the checker
+therefore threads a single :class:`TermManager` per function through the
+encoder, the query engine, and the solver.
 """
 
 from __future__ import annotations

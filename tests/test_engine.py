@@ -13,6 +13,7 @@ import pytest
 
 from repro.api import check_corpus, check_source
 from repro.core.checker import CheckerConfig
+from repro.core.report import diagnostic_signature
 from repro.corpus.snippets import SNIPPETS, STABLE_SNIPPETS, snippet_by_name
 from repro.engine.cache import (
     SolverQueryCache,
@@ -35,11 +36,7 @@ def diagnostics_signature(result):
     """Everything that identifies a diagnostic, including its minimal UB set."""
     out = []
     for report in result.reports:
-        for d in report.bugs:
-            out.append((d.function, str(d.location), d.algorithm.value,
-                        d.message, d.fragment, d.replacement,
-                        tuple(sorted(k.value for k in d.ub_kinds)),
-                        d.classification))
+        out.extend(diagnostic_signature(d) for d in report.bugs)
     return out
 
 
