@@ -1,0 +1,43 @@
+"""Stage-5: witness confirmation rates and differential optimizer testing.
+
+The paper's evidence that warnings matter is concrete (§6.1 new bugs, §6.3
+precision): each diagnostic corresponds to an input on which optimized and
+unoptimized code diverge.  This harness asserts the reproduction delivers
+the same property mechanically:
+
+* every snippet-corpus diagnostic whose SAT query yields a model is
+  *confirmed* by replay — the interpreter trips the reported minimal-UB-set
+  condition on the witness input,
+* the seeded differential runner reports zero unjustified miscompiles for
+  every built-in compiler profile, while the UB-exploiting profiles do show
+  UB-justified divergences (the optimizer is actually doing something).
+"""
+
+from repro.compilers.profiles import ALL_PROFILES, modern_profiles
+from repro.exec.diff import DiffClassification
+from repro.experiments.witnesses import run_witness_experiment
+
+
+def test_witness_confirmation_and_differential(once, fast_mode):
+    profiles = modern_profiles() if fast_mode else ALL_PROFILES
+    inputs = 3 if fast_mode else 8
+    result = once(run_witness_experiment, profiles=profiles,
+                  inputs_per_function=inputs, seed=0)
+    print()
+    print(result.render())
+
+    # Every validated diagnostic is concretely confirmed: the witness input
+    # triggers the reported UB, so the divergence is justified (§6.3's
+    # "every warning has an input" claim, made executable).
+    assert result.validated > 0
+    assert result.unconfirmed == 0
+    assert result.confirmation_rate == 1.0
+
+    # Zero unjustified miscompiles across every profile; the aggressive
+    # profiles diverge only on inputs whose unoptimized run triggered UB.
+    diff = result.diff
+    assert diff.miscompiles == []
+    assert diff.counts.get(DiffClassification.AGREE.value, 0) > 0
+    assert diff.justified_divergences > 0
+    for profile, per in diff.by_profile.items():
+        assert per.get(DiffClassification.MISCOMPILE.value, 0) == 0, profile

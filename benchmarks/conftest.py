@@ -7,6 +7,9 @@ timing stability.
 
 ``--engine-workers`` selects how many worker processes the engine-backed
 benchmarks fan out over (default 2; pass 0 to force sequential runs).
+``--bench-fast`` switches benchmarks that support it into a reduced-size
+smoke mode — fewer seeded inputs, fewer profiles — used by the CI benchmark
+smoke job to keep wall-clock low while still executing every code path.
 """
 
 import pytest
@@ -16,12 +19,21 @@ def pytest_addoption(parser):
     parser.addoption(
         "--engine-workers", action="store", type=int, default=2,
         help="worker processes for engine-backed benchmarks (0 = sequential)")
+    parser.addoption(
+        "--bench-fast", action="store_true", default=False,
+        help="run benchmarks in reduced-size smoke mode (CI)")
 
 
 @pytest.fixture
 def engine_workers(request):
     """Worker count for CheckEngine-backed benchmarks."""
     return request.config.getoption("--engine-workers")
+
+
+@pytest.fixture
+def fast_mode(request):
+    """True when the benchmark should shrink its workload (--bench-fast)."""
+    return request.config.getoption("--bench-fast")
 
 
 @pytest.fixture

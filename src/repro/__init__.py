@@ -15,6 +15,10 @@ This package re-implements the full system in Python:
 * :mod:`repro.corpus` — the paper's code snippets and synthetic corpora,
 * :mod:`repro.engine` — the parallel corpus-checking engine (worker pool,
   solver-query cache, timeout escalation, JSONL result streaming),
+* :mod:`repro.exec` — the concrete-execution subsystem: an IR interpreter
+  with runtime UB detection, witness replay for diagnostics
+  (``CheckerConfig(validate_witnesses=True)``), and differential testing of
+  the UB-exploiting optimizer,
 * :mod:`repro.experiments` — drivers that regenerate every table and figure.
 
 Quickstart::
@@ -49,6 +53,8 @@ __all__ = [
     "check_modules_parallel",
     "check_source",
     "compile_source",
+    "run_differential",
+    "run_function",
     "__version__",
 ]
 
@@ -67,6 +73,8 @@ _LAZY_ATTRS = {
     "EngineConfig": ("repro.engine.engine", "EngineConfig"),
     "EngineResult": ("repro.engine.engine", "EngineResult"),
     "SolverQueryCache": ("repro.engine.cache", "SolverQueryCache"),
+    "run_differential": ("repro.exec.diff", "run_differential"),
+    "run_function": ("repro.exec.interp", "run_function"),
 }
 
 

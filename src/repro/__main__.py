@@ -1,0 +1,90 @@
+"""Command-line interface: ``python -m repro [options] file.c``.
+
+The smallest useful slice of ``stack-build``: check one C-like source file
+for optimization-unstable code and print the report.  ``--json`` emits the
+same record the engine's JSONL sink streams (one ``unit`` object, see
+docs/ENGINE.md), so shell pipelines and the corpus engine share a format.
+``--validate`` enables the stage-5 concrete witness replay (docs/EXEC.md).
+
+Exit status: 0 — no unstable code, 1 — warnings reported, 2 — the input
+could not be compiled or read.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from typing import List, Optional
+
+from repro.api import check_source
+from repro.core.checker import CheckerConfig
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro",
+        description="STACK reproduction: find optimization-unstable code "
+                    "in a C-like source file.")
+    parser.add_argument("source", help="path to a C-like source file, or '-' "
+                                       "to read from stdin")
+    parser.add_argument("--json", action="store_true",
+                        help="emit the engine's JSONL unit record instead of "
+                             "the human-readable report")
+    parser.add_argument("--validate", action="store_true",
+                        help="replay a concrete witness for every diagnostic "
+                             "through the IR interpreter (stage 5)")
+    parser.add_argument("--timeout", type=float, default=5.0, metavar="SECONDS",
+                        help="per-query solver timeout (default: 5.0)")
+    parser.add_argument("--max-conflicts", type=int, default=50_000,
+                        metavar="N", help="per-query CDCL conflict budget "
+                                          "(default: 50000)")
+    parser.add_argument("--no-incremental", action="store_true",
+                        help="solve every query from scratch instead of "
+                             "batching into incremental contexts")
+    parser.add_argument("--show-config", action="store_true",
+                        help="print the active CheckerConfig before checking")
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+
+    if args.source == "-":
+        source = sys.stdin.read()
+        filename = "<stdin>"
+    else:
+        try:
+            with open(args.source, "r", encoding="utf-8") as handle:
+                source = handle.read()
+        except OSError as exc:
+            print(f"error: cannot read {args.source}: {exc}", file=sys.stderr)
+            return 2
+        filename = args.source
+
+    config = CheckerConfig(
+        solver_timeout=args.timeout,
+        max_conflicts=args.max_conflicts,
+        incremental=not args.no_incremental,
+        validate_witnesses=args.validate,
+    )
+    if args.show_config:
+        print(config.describe())
+
+    try:
+        report = check_source(source, filename=filename, config=config)
+    except Exception as exc:                          # frontend rejection
+        print(f"error: {type(exc).__name__}: {exc}", file=sys.stderr)
+        return 2
+
+    if args.json:
+        from repro.engine.sink import report_to_dict
+
+        print(json.dumps(report_to_dict(filename, report), indent=2))
+    else:
+        print(report.describe())
+    return 1 if report.bugs else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

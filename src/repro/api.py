@@ -28,6 +28,12 @@ incremental solver::
 
     result = check_corpus([("unit0", SOURCE0), ("unit1", SOURCE1)], workers=4)
     print(result.stats.as_dict())
+
+Pass ``CheckerConfig(validate_witnesses=True)`` to any helper to run the
+stage-5 concrete validation: each diagnostic's solver model is replayed
+through the IR interpreter before and after the UB-exploiting optimizer,
+and ``bug.witness`` records whether the warning was concretely confirmed
+(docs/EXEC.md).
 """
 
 from __future__ import annotations

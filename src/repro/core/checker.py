@@ -9,6 +9,12 @@ Stage 1 — the frontend — lives in :mod:`repro.frontend` / :mod:`repro.lower`
    boolean oracle, then the algebra oracle (§4.4),
 4. bug report generation — compiler-origin filtering, minimal UB sets, and
    classification (§4.5).
+
+With ``CheckerConfig.validate_witnesses`` a fifth stage runs after report
+generation: every diagnostic's solver model is replayed through the concrete
+interpreter (:mod:`repro.exec`), before and after the UB-exploiting
+optimizer, and the witness verdict is attached to the diagnostic
+(docs/EXEC.md).
 """
 
 from __future__ import annotations
@@ -71,6 +77,12 @@ class CheckerConfig:
     encoder_options: EncoderOptions = field(default_factory=EncoderOptions)
     #: Classify diagnostics into the §6.2 taxonomy.
     classify: bool = True
+    #: Stage 5: replay a solver model for every diagnostic through the
+    #: concrete interpreter, pre- and post-optimization, and attach the
+    #: witness verdict (docs/EXEC.md).
+    validate_witnesses: bool = False
+    #: Instruction budget per concrete witness replay.
+    witness_fuel: int = 50_000
 
     def describe(self) -> str:
         """Render the active configuration for reports and logs.
@@ -148,6 +160,7 @@ class StackChecker:
                 encoder, engine, oracles, skip_instructions=dead_instructions)
 
         diagnostics: List[Diagnostic] = []
+        witness_work = []         # (diagnostic, hypothesis, conditions) triples
         suppressed = 0
         for finding in elimination_findings:
             if finding.trivially_dead:
@@ -157,6 +170,8 @@ class StackChecker:
                 suppressed += 1
                 continue
             diagnostics.append(diagnostic)
+            witness_work.append((diagnostic, finding.hypothesis,
+                                 finding.conditions))
         for finding in simplification_findings:
             if finding.trivially_simplified:
                 continue
@@ -165,9 +180,25 @@ class StackChecker:
                 suppressed += 1
                 continue
             diagnostics.append(diagnostic)
+            witness_work.append((diagnostic, finding.hypothesis,
+                                 finding.conditions))
 
         if self.config.classify:
             classify_all(diagnostics)
+
+        if self.config.validate_witnesses and witness_work:
+            from repro.exec.witness import validate_diagnostics
+
+            witness_started = time.monotonic()
+            counts = validate_diagnostics(
+                function, encoder, witness_work,
+                fuel=self.config.witness_fuel,
+                timeout=self.config.solver_timeout,
+                max_conflicts=self.config.max_conflicts)
+            result.witnesses_confirmed = counts["confirmed"]
+            result.witnesses_unconfirmed = counts["unconfirmed"]
+            result.witnesses_inconclusive = counts["inconclusive"]
+            result.witness_time = time.monotonic() - witness_started
 
         result.diagnostics = diagnostics
         result.suppressed_compiler_origin = suppressed

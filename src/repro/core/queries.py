@@ -86,7 +86,7 @@ class QueryContext:
     def __init__(self, engine: "QueryEngine", base: Sequence[Term]) -> None:
         self.engine = engine
         self.base: List[Term] = list(base)
-        self._pushed = False
+        self._frame = None            # token from Solver.push (LIFO guard)
         self._asserted: Set[int] = set()
         self._closed = False
 
@@ -97,12 +97,17 @@ class QueryContext:
         self.close()
 
     def close(self) -> None:
-        """Pop this context's solver frame (idempotent)."""
+        """Pop this context's solver frame (idempotent).
+
+        Contexts over a shared incremental solver must close in LIFO order;
+        popping while a later context's frame is still open raises rather
+        than silently retiring that context's assertions.
+        """
         if self._closed:
             return
         self._closed = True
-        if self._pushed:
-            self.engine._shared_solver.pop()
+        if self._frame is not None:
+            self.engine._shared_solver.pop(self._frame)
 
     def is_unsat(self, deltas: Sequence[Term] = ()) -> Optional[bool]:
         """Decide whether base ∧ deltas (∧ their definitions) is UNSAT.
@@ -156,9 +161,8 @@ class QueryContext:
 
     def _ensure_frame(self) -> Solver:
         solver = self.engine._shared()
-        if not self._pushed:
-            solver.push()
-            self._pushed = True
+        if self._frame is None:
+            self._frame = solver.push()
             for term in self.base:
                 solver.add(term)
                 self._asserted.add(term.tid)

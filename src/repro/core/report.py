@@ -60,6 +60,9 @@ class Diagnostic:
     ub_set: MinimalUBSet = field(default_factory=MinimalUBSet)
     origin: Optional[Origin] = None
     classification: Optional[str] = None  # filled by repro.core.classify
+    #: Concrete replay verdict (a :class:`repro.exec.witness.WitnessReport`),
+    #: attached by stage 5 when ``CheckerConfig.validate_witnesses`` is set.
+    witness: Optional["WitnessReport"] = None
 
     @property
     def ub_kinds(self) -> List[UBKind]:
@@ -74,6 +77,8 @@ class Diagnostic:
         lines.append(f"  undefined behavior involved: {self.ub_set.describe()}")
         if self.classification:
             lines.append(f"  classification: {self.classification}")
+        if self.witness is not None:
+            lines.append(f"  {self.witness.describe()}")
         return "\n".join(lines)
 
     def __repr__(self) -> str:
@@ -118,6 +123,16 @@ class FunctionReport:
     restarts: int = 0                       # CDCL restarts across those calls
     blasted_clauses: int = 0                # CNF clauses produced by bit-blasting
     solver_time: float = 0.0                # seconds spent inside the solver
+    # Stage-5 witness validation counters (repro.exec.witness / docs/EXEC.md):
+    witnesses_confirmed: int = 0            # replay trips the reported UB
+    witnesses_unconfirmed: int = 0          # probable false positive
+    witnesses_inconclusive: int = 0         # no model / out of fuel
+    witness_time: float = 0.0               # seconds spent replaying
+
+    @property
+    def witnesses_validated(self) -> int:
+        return (self.witnesses_confirmed + self.witnesses_unconfirmed
+                + self.witnesses_inconclusive)
 
     @property
     def solver_queries(self) -> int:
@@ -179,6 +194,26 @@ class BugReport:
     def analysis_time(self) -> float:
         return sum(f.analysis_time for f in self.functions)
 
+    @property
+    def witnesses_confirmed(self) -> int:
+        return sum(f.witnesses_confirmed for f in self.functions)
+
+    @property
+    def witnesses_unconfirmed(self) -> int:
+        return sum(f.witnesses_unconfirmed for f in self.functions)
+
+    @property
+    def witnesses_inconclusive(self) -> int:
+        return sum(f.witnesses_inconclusive for f in self.functions)
+
+    @property
+    def witnesses_validated(self) -> int:
+        return sum(f.witnesses_validated for f in self.functions)
+
+    @property
+    def witness_time(self) -> float:
+        return sum(f.witness_time for f in self.functions)
+
     def by_algorithm(self) -> Dict[Algorithm, int]:
         counts = {algorithm: 0 for algorithm in Algorithm}
         for diagnostic in self.bugs:
@@ -206,6 +241,11 @@ class BugReport:
                      f"{self.restarts} restarts, "
                      f"{self.blasted_clauses} bit-blasted clauses, "
                      f"{self.solver_time:.2f}s in the solver")
+        if self.witnesses_validated:
+            lines.append(f"witness validation: {self.witnesses_confirmed} "
+                         f"confirmed, {self.witnesses_unconfirmed} unconfirmed, "
+                         f"{self.witnesses_inconclusive} inconclusive "
+                         f"({self.witness_time:.2f}s replaying)")
         return "\n".join(lines)
 
     def merge(self, other: "BugReport") -> None:

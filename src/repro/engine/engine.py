@@ -81,6 +81,11 @@ class RunStats:
     restarts: int = 0
     blasted_clauses: int = 0
     solver_time: float = 0.0
+    # Stage-5 witness validation totals (repro.exec.witness / docs/EXEC.md):
+    witnesses_confirmed: int = 0
+    witnesses_unconfirmed: int = 0
+    witnesses_inconclusive: int = 0
+    witness_time: float = 0.0
 
     def as_dict(self) -> Dict[str, object]:
         return {
@@ -96,6 +101,12 @@ class RunStats:
                 "restarts": self.restarts,
                 "blasted_clauses": self.blasted_clauses,
                 "solver_time": round(self.solver_time, 6),
+            },
+            "witnesses": {
+                "confirmed": self.witnesses_confirmed,
+                "unconfirmed": self.witnesses_unconfirmed,
+                "inconclusive": self.witnesses_inconclusive,
+                "witness_time": round(self.witness_time, 6),
             },
         }
 
@@ -273,6 +284,10 @@ class CheckEngine:
             stats.restarts += report.restarts
             stats.blasted_clauses += report.blasted_clauses
             stats.solver_time += report.solver_time
+            stats.witnesses_confirmed += report.witnesses_confirmed
+            stats.witnesses_unconfirmed += report.witnesses_unconfirmed
+            stats.witnesses_inconclusive += report.witnesses_inconclusive
+            stats.witness_time += report.witness_time
         stats.solver_queries = stats.queries - stats.cache_hits
         return stats
 

@@ -31,6 +31,8 @@ def diagnostic_to_dict(diagnostic: Diagnostic) -> Dict[str, object]:
         "replacement": diagnostic.replacement,
         "ub_kinds": [kind.value for kind in diagnostic.ub_kinds],
         "classification": diagnostic.classification,
+        "witness": diagnostic.witness.as_dict()
+        if diagnostic.witness is not None else None,
     }
 
 
@@ -58,6 +60,12 @@ def report_to_dict(name: str, report: BugReport, attempts: int = 1,
                 "blasted_clauses": fr.blasted_clauses,
                 "solver_time": round(fr.solver_time, 6),
                 "analysis_time": round(fr.analysis_time, 6),
+                "witnesses": {
+                    "confirmed": fr.witnesses_confirmed,
+                    "unconfirmed": fr.witnesses_unconfirmed,
+                    "inconclusive": fr.witnesses_inconclusive,
+                    "witness_time": round(fr.witness_time, 6),
+                },
             }
             for fr in report.functions
         ],
@@ -71,6 +79,10 @@ def report_to_dict(name: str, report: BugReport, attempts: int = 1,
         "blasted_clauses": report.blasted_clauses,
         "solver_time": round(report.solver_time, 6),
         "analysis_time": round(report.analysis_time, 6),
+        "witnesses_confirmed": report.witnesses_confirmed,
+        "witnesses_unconfirmed": report.witnesses_unconfirmed,
+        "witnesses_inconclusive": report.witnesses_inconclusive,
+        "witness_time": round(report.witness_time, 6),
     }
 
 

@@ -1,0 +1,58 @@
+"""repro.exec — the concrete-execution subsystem (Figure 7 stage 5).
+
+The checker's first four stages are entirely *symbolic*: a diagnostic is a
+satisfiability argument that some fragment survives plain C* semantics but
+dies under the well-defined-program assumption.  The paper's evidence that
+such diagnostics matter is *concrete* — confirmed new bugs (§6.1) and a
+precision study (§6.3) where every warning corresponds to an input that
+actually makes optimized and unoptimized code diverge.  This package adds
+the executable half:
+
+* :mod:`repro.exec.interp` — a small-step IR interpreter with a
+  byte-addressable memory, deterministic external environment, and fuel
+  limits,
+* :mod:`repro.exec.ubdetect` — concrete undefined-behavior detection
+  mirroring :mod:`repro.core.ubconditions`, so a run yields a value *and*
+  the UB events it triggered (with source origin),
+* :mod:`repro.exec.witness` — turns a solver model from an elimination or
+  simplification finding into interpreter inputs and replays the function
+  before and after the UB-exploiting optimizer, confirming the diagnostic
+  or marking it a probable false positive,
+* :mod:`repro.exec.diff` — a seeded differential runner that executes
+  corpus functions under deterministic inputs against each
+  :class:`~repro.compilers.profiles.CompilerProfile` pipeline and
+  classifies divergences as UB-justified vs. miscompile,
+* :mod:`repro.exec.clone` — deep copies of IR functions/modules so the
+  in-place optimizer can be run without destroying the original.
+
+See ``docs/EXEC.md`` for the full stage-5 story.
+"""
+
+from repro.exec.clone import clone_function, clone_module
+from repro.exec.diff import DiffClassification, DiffReport, run_differential
+from repro.exec.interp import ExecResult, ExecStatus, ExternalEnv, Interpreter, run_function
+from repro.exec.ubdetect import UBEvent
+from repro.exec.witness import (
+    WitnessReport,
+    WitnessVerdict,
+    replay_diagnostic,
+    validate_diagnostics,
+)
+
+__all__ = [
+    "DiffClassification",
+    "DiffReport",
+    "ExecResult",
+    "ExecStatus",
+    "ExternalEnv",
+    "Interpreter",
+    "UBEvent",
+    "WitnessReport",
+    "WitnessVerdict",
+    "clone_function",
+    "clone_module",
+    "replay_diagnostic",
+    "run_differential",
+    "run_function",
+    "validate_diagnostics",
+]

@@ -1,0 +1,211 @@
+"""Seeded differential testing of the UB-exploiting optimizer.
+
+The checker trusts :mod:`repro.compilers` to behave like the surveyed
+compilers: fold a check *only* when every input that disagrees with the fold
+invokes undefined behavior.  This module tests that property concretely, the
+way csmith-style campaigns test real compilers: execute every function of a
+corpus under N deterministic inputs, once as written and once through each
+:class:`~repro.compilers.profiles.CompilerProfile`'s pipeline, and compare
+the observable outcomes.
+
+A divergence is **UB-justified** when the unoptimized run triggered at least
+one undefined-behavior event — the C standard then places no requirement on
+the optimized program.  A divergence on a UB-free run is a **miscompile**:
+the optimizer changed the meaning of a well-defined program.  The built-in
+profiles must report zero miscompiles; the differential runner is the
+regression harness that keeps new passes honest.
+
+Everything is derived from an integer seed (argument vectors, external call
+results, un-backed memory), so a failure reproduces exactly.
+"""
+
+from __future__ import annotations
+
+import enum
+import hashlib
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+from repro.compilers.pipeline import OptimizationPipeline
+from repro.compilers.profiles import ALL_PROFILES, CompilerProfile
+from repro.core.ubconditions import UBKind
+from repro.exec.clone import clone_function
+from repro.exec.interp import ExecStatus, ExternalEnv, run_function
+from repro.ir.function import Function, Module
+
+
+class DiffClassification(enum.Enum):
+    """Outcome of comparing one (function, input, profile) execution pair."""
+
+    AGREE = "agree"
+    UB_JUSTIFIED = "ub-justified divergence"
+    MISCOMPILE = "miscompile"
+    INCONCLUSIVE = "inconclusive"      # fuel/trap on either side
+
+
+@dataclass
+class DiffCase:
+    """One divergence (or inconclusive run) worth reporting."""
+
+    unit: str
+    function: str
+    profile: str
+    level: int
+    input_index: int
+    classification: DiffClassification
+    inputs: Tuple[int, ...] = ()
+    ub_kinds: Tuple[UBKind, ...] = ()
+    pre: Optional[Tuple[str, Optional[int]]] = None
+    post: Optional[Tuple[str, Optional[int]]] = None
+
+    def describe(self) -> str:
+        return (f"{self.unit}/{self.function} vs {self.profile} -O{self.level} "
+                f"input#{self.input_index} {self.classification.value}: "
+                f"args={list(self.inputs)} pre={self.pre} post={self.post} "
+                f"ub={[k.value for k in self.ub_kinds]}")
+
+
+@dataclass
+class DiffReport:
+    """Aggregate result of one differential campaign."""
+
+    seed: int = 0
+    level: int = 2
+    executions: int = 0
+    counts: Dict[str, int] = field(default_factory=dict)
+    by_profile: Dict[str, Dict[str, int]] = field(default_factory=dict)
+    cases: List[DiffCase] = field(default_factory=list)   # non-AGREE only
+
+    def bump(self, profile: str, classification: DiffClassification) -> None:
+        self.executions += 1
+        self.counts[classification.value] = \
+            self.counts.get(classification.value, 0) + 1
+        per = self.by_profile.setdefault(profile, {})
+        per[classification.value] = per.get(classification.value, 0) + 1
+
+    @property
+    def miscompiles(self) -> List[DiffCase]:
+        return [case for case in self.cases
+                if case.classification is DiffClassification.MISCOMPILE]
+
+    @property
+    def justified_divergences(self) -> int:
+        return self.counts.get(DiffClassification.UB_JUSTIFIED.value, 0)
+
+    def render(self) -> str:
+        from repro.experiments.common import render_table
+
+        headers = ["profile", "agree", "ub-justified", "miscompile",
+                   "inconclusive"]
+        rows = []
+        for profile in sorted(self.by_profile):
+            per = self.by_profile[profile]
+            rows.append([
+                profile,
+                per.get(DiffClassification.AGREE.value, 0),
+                per.get(DiffClassification.UB_JUSTIFIED.value, 0),
+                per.get(DiffClassification.MISCOMPILE.value, 0),
+                per.get(DiffClassification.INCONCLUSIVE.value, 0),
+            ])
+        title = (f"Differential optimizer testing (seed {self.seed}, "
+                 f"-O{self.level}, {self.executions} comparisons)")
+        return render_table(headers, rows, title=title)
+
+
+#: Argument patterns every differential run cycles through before falling
+#: back to seed-hash values; mirrors the solver's model-guessing pre-pass.
+_PATTERNS = (
+    lambda width: 0,
+    lambda width: 1,
+    lambda width: (1 << width) - 1,            # -1 / all ones
+    lambda width: 1 << (width - 1),            # INT_MIN
+    lambda width: (1 << (width - 1)) - 1,      # INT_MAX
+    lambda width: 7,
+    lambda width: 100,
+)
+
+
+def _hash_value(seed: int, key: str, width: int) -> int:
+    digest = hashlib.sha256(f"{seed}:{key}".encode()).digest()
+    return int.from_bytes(digest[:8], "little") & ((1 << width) - 1)
+
+
+def argument_vector(function: Function, seed: int, input_index: int) -> List[int]:
+    """The deterministic argument vector for one differential execution."""
+    args: List[int] = []
+    for position, argument in enumerate(function.arguments):
+        width = argument.type.bit_width
+        choices = len(_PATTERNS) + 1
+        pick = _hash_value(seed, f"{function.name}.pick.{position}.{input_index}",
+                           8) % choices
+        if pick < len(_PATTERNS):
+            value = _PATTERNS[pick](width) & ((1 << width) - 1)
+        else:
+            value = _hash_value(seed, f"{function.name}.arg.{position}."
+                                      f"{input_index}", width)
+        args.append(value)
+    return args
+
+
+def run_differential(units: Iterable[Tuple[str, Module]],
+                     profiles: Optional[Sequence[CompilerProfile]] = None,
+                     level: int = 2, inputs_per_function: int = 8,
+                     seed: int = 0, fuel: int = 20_000,
+                     keep_agreements: bool = False) -> DiffReport:
+    """Differentially execute ``units`` against each profile's pipeline.
+
+    ``units`` yields ``(name, module)`` pairs of already-lowered IR.  Every
+    defined function is run under ``inputs_per_function`` seeded argument
+    vectors; for each profile the same inputs replay through a clone
+    optimized at ``-O{level}``.  See the module docstring for the
+    classification rules.
+    """
+    if profiles is None:
+        profiles = ALL_PROFILES
+    report = DiffReport(seed=seed, level=level)
+
+    for unit_name, module in units:
+        for function in module.defined_functions():
+            optimized: List[Tuple[CompilerProfile, Function]] = []
+            for profile in profiles:
+                clone = clone_function(function)
+                capabilities = profile.capabilities_at(level)
+                OptimizationPipeline(capabilities=capabilities).run_function(clone)
+                optimized.append((profile, clone))
+
+            for input_index in range(inputs_per_function):
+                args = argument_vector(function, seed, input_index)
+                env = ExternalEnv(
+                    seed=seed ^ _hash_value(seed, f"{unit_name}.{input_index}", 32),
+                    zero_fill=False)
+                pre = run_function(function, args, module=module, env=env,
+                                   fuel=fuel)
+                for profile, clone in optimized:
+                    post = run_function(clone, args, module=module, env=env,
+                                        fuel=fuel)
+                    classification = _classify(pre, post)
+                    report.bump(profile.name, classification)
+                    if classification is DiffClassification.AGREE and \
+                            not keep_agreements:
+                        continue
+                    report.cases.append(DiffCase(
+                        unit=unit_name, function=function.name,
+                        profile=profile.name, level=level,
+                        input_index=input_index,
+                        classification=classification,
+                        inputs=tuple(args),
+                        ub_kinds=tuple(dict.fromkeys(
+                            e.kind for e in pre.events)),
+                        pre=pre.observable(), post=post.observable()))
+    return report
+
+
+def _classify(pre, post) -> DiffClassification:
+    if pre.status in (ExecStatus.OUT_OF_FUEL, ExecStatus.TRAPPED) or \
+            post.status in (ExecStatus.OUT_OF_FUEL, ExecStatus.TRAPPED):
+        return DiffClassification.INCONCLUSIVE
+    if pre.observable() == post.observable():
+        return DiffClassification.AGREE
+    if pre.events:
+        return DiffClassification.UB_JUSTIFIED
+    return DiffClassification.MISCOMPILE

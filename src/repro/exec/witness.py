@@ -1,0 +1,240 @@
+"""Witness replay: from solver model to confirmed diagnostic.
+
+Every elimination/simplification diagnostic rests on a SAT/UNSAT pair: the
+fragment is live under plain C* semantics (SAT — some input reaches it) but
+dead under the well-defined-program assumption Δ (UNSAT — every such input
+first triggers undefined behavior).  The SAT half has a *model*, and a model
+is an input vector.  This module extracts it, maps it onto interpreter
+inputs, and replays the function concretely on both sides of the
+two-compiler divide:
+
+1. solve ``H ∧ (⋁ U_d over the reported minimal set)`` for a model — an
+   input that reaches the fragment *and* trips the reported UB (falling
+   back to plain ``H`` when the strengthened query is not satisfiable
+   within budget),
+2. run the function as written under that input, recording concrete UB
+   events (:mod:`repro.exec.ubdetect`),
+3. run a clone optimized by the full UB-exploiting pipeline
+   (:mod:`repro.compilers`) under the *same* input and external world,
+4. compare.
+
+A diagnostic is **confirmed** when the witness concretely triggers at least
+one UB condition from the reported minimal set — the optimizer is then
+entitled to any divergence the replay observed, which is exactly the
+paper's argument for why the warning matters.  A witness that triggers no
+reported UB marks the diagnostic a probable false positive
+(**unconfirmed**); a divergence *without* any UB would be a miscompile and
+is surfaced in the report's reason.  Budget exhaustion (no model, fuel) is
+**inconclusive**.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.compilers.passes import Capability
+from repro.compilers.pipeline import OptimizationPipeline
+from repro.core.encode import FunctionEncoder
+from repro.core.report import Diagnostic
+from repro.core.ubconditions import UBCondition, UBKind
+from repro.exec.clone import clone_function
+from repro.exec.interp import ExecResult, ExecStatus, ExternalEnv, run_function
+from repro.ir.function import Function, Module
+from repro.ir.instructions import Call, Instruction, Load
+from repro.solver.solver import CheckResult, Solver
+from repro.solver.terms import Term
+
+
+class WitnessVerdict(enum.Enum):
+    """Outcome of replaying one diagnostic's witness."""
+
+    CONFIRMED = "confirmed"            # witness trips the reported UB concretely
+    UNCONFIRMED = "unconfirmed"        # replayed, but no reported UB fired
+    INCONCLUSIVE = "inconclusive"      # no model / out of fuel / trap
+
+
+@dataclass
+class WitnessReport:
+    """The concrete evidence attached to one diagnostic."""
+
+    verdict: WitnessVerdict
+    reason: str = ""
+    #: Function inputs the witness used (argument name -> bit pattern).
+    inputs: Dict[str, int] = field(default_factory=dict)
+    observed_kinds: Tuple[UBKind, ...] = ()
+    reported_kinds: Tuple[UBKind, ...] = ()
+    diverged: bool = False
+    pre: Optional[Tuple[str, Optional[int]]] = None    # observable() pairs
+    post: Optional[Tuple[str, Optional[int]]] = None
+
+    def as_dict(self) -> Dict[str, object]:
+        """Plain-JSON view for the engine's result sink."""
+        return {
+            "verdict": self.verdict.value,
+            "reason": self.reason,
+            "inputs": {name: value for name, value in sorted(self.inputs.items())},
+            "observed_kinds": [kind.value for kind in self.observed_kinds],
+            "reported_kinds": [kind.value for kind in self.reported_kinds],
+            "diverged": self.diverged,
+            "pre": list(self.pre) if self.pre is not None else None,
+            "post": list(self.post) if self.post is not None else None,
+        }
+
+    def describe(self) -> str:
+        inputs = ", ".join(f"{k}={v}" for k, v in sorted(self.inputs.items()))
+        parts = [f"witness {self.verdict.value}"]
+        if inputs:
+            parts.append(f"on inputs [{inputs}]")
+        if self.diverged:
+            parts.append("(pre/post optimization runs diverge)")
+        if self.reason:
+            parts.append(f"- {self.reason}")
+        return " ".join(parts)
+
+
+#: Every UB-exploiting capability at once: the "second compiler" of the
+#: paper's model, maximally entitled to exploit the well-defined assumption.
+FULL_CAPABILITIES = frozenset(Capability)
+
+
+def solve_witness_model(encoder: FunctionEncoder, hypothesis: Sequence[Term],
+                        conditions: Sequence[UBCondition],
+                        timeout: Optional[float] = 5.0,
+                        max_conflicts: Optional[int] = 50_000,
+                        ) -> Optional[Dict[str, int]]:
+    """A model of ``hypothesis`` that also trips a reported UB condition.
+
+    First tries the strengthened query (hypothesis ∧ ⋁ U_d); if that is not
+    satisfiable within budget, falls back to the plain hypothesis — whose
+    satisfiability is what produced the finding in the first place.
+    """
+    manager = encoder.manager
+    attempts: List[List[Term]] = []
+    live = [c.condition for c in conditions
+            if not (c.condition.is_const() and not c.condition.value)]
+    if live:
+        attempts.append(list(hypothesis) + [manager.or_(*live)])
+    attempts.append(list(hypothesis))
+
+    for terms in attempts:
+        solver = Solver(manager, timeout=timeout, max_conflicts=max_conflicts)
+        for term in terms:
+            solver.add(term)
+        for definition in encoder.definitions_for(*terms):
+            solver.add(definition)
+        if solver.check() is CheckResult.SAT:
+            return solver.model().as_dict()
+    return None
+
+
+def model_to_inputs(encoder: FunctionEncoder,
+                    model: Dict[str, int]) -> Tuple[List[int], Dict[str, int]]:
+    """Split a model into argument values and external-value overrides.
+
+    Arguments are looked up under the encoder's ``<fn>.arg.<name>`` naming.
+    Loads and calls were encoded as fresh variables; whenever the model
+    constrains one, the interpreter's external environment is overridden at
+    the matching instruction (keyed by result name, which survives cloning
+    and optimization), so the concrete run sees the world the solver chose.
+    """
+    function = encoder.function
+    args = [model.get(f"{function.name}.arg.{argument.name}", 0)
+            for argument in function.arguments]
+
+    overrides: Dict[str, int] = {}
+    for inst in function.instructions():
+        if not isinstance(inst, (Load, Call)) or inst.type.is_void():
+            continue
+        if not inst.name:
+            continue
+        term = encoder.term(inst)
+        if term.is_var() and term.name in model:
+            overrides[inst.name] = model[term.name]
+    return args, overrides
+
+
+def replay_diagnostic(function: Function, encoder: FunctionEncoder,
+                      diagnostic: Diagnostic, hypothesis: Sequence[Term],
+                      conditions: Sequence[UBCondition],
+                      module: Optional[Module] = None,
+                      fuel: int = 50_000,
+                      timeout: Optional[float] = 5.0,
+                      max_conflicts: Optional[int] = 50_000) -> WitnessReport:
+    """Extract a witness for one diagnostic and replay it pre/post optimizer."""
+    reported = tuple(dict.fromkeys(diagnostic.ub_kinds)) or \
+        tuple(dict.fromkeys(c.kind for c in conditions))
+
+    model = solve_witness_model(encoder, hypothesis, conditions,
+                                timeout=timeout, max_conflicts=max_conflicts)
+    if model is None:
+        return WitnessReport(WitnessVerdict.INCONCLUSIVE,
+                             reason="no satisfying model within budget",
+                             reported_kinds=reported)
+
+    args, overrides = model_to_inputs(encoder, model)
+    inputs = {argument.name: value
+              for argument, value in zip(function.arguments, args)}
+    env = ExternalEnv(overrides=overrides, zero_fill=True)
+
+    pre = run_function(function, args, module=module, env=env, fuel=fuel)
+    optimized = clone_function(function)
+    OptimizationPipeline(capabilities=set(FULL_CAPABILITIES)).run_function(optimized)
+    post = run_function(optimized, args, module=module, env=env, fuel=fuel)
+
+    return _judge(pre, post, inputs, reported)
+
+
+def _judge(pre: ExecResult, post: ExecResult, inputs: Dict[str, int],
+           reported: Tuple[UBKind, ...]) -> WitnessReport:
+    report = WitnessReport(WitnessVerdict.INCONCLUSIVE, inputs=inputs,
+                           observed_kinds=tuple(dict.fromkeys(
+                               e.kind for e in pre.events)),
+                           reported_kinds=reported,
+                           pre=pre.observable(), post=post.observable())
+    if pre.status in (ExecStatus.OUT_OF_FUEL, ExecStatus.TRAPPED):
+        report.reason = f"replay {pre.status.value}" + \
+            (f": {pre.error}" if pre.error else "")
+        return report
+    report.diverged = pre.observable() != post.observable()
+
+    observed = set(report.observed_kinds)
+    if observed & set(reported):
+        report.verdict = WitnessVerdict.CONFIRMED
+        report.reason = ("witness triggers the reported undefined behavior"
+                         + ("; optimized code diverges" if report.diverged
+                            else "; optimizer left the fragment intact"))
+    elif observed:
+        report.verdict = WitnessVerdict.UNCONFIRMED
+        report.reason = ("witness triggers only undefined behavior outside "
+                         "the reported set")
+    else:
+        report.verdict = WitnessVerdict.UNCONFIRMED
+        report.reason = "witness triggers no undefined behavior" + \
+            ("; divergence without UB would be a miscompile"
+             if report.diverged else " — probable false positive")
+    return report
+
+
+def validate_diagnostics(function: Function, encoder: FunctionEncoder,
+                         findings: Sequence[Tuple[Diagnostic, Sequence[Term],
+                                                  Sequence[UBCondition]]],
+                         module: Optional[Module] = None,
+                         fuel: int = 50_000,
+                         timeout: Optional[float] = 5.0,
+                         max_conflicts: Optional[int] = 50_000) -> Dict[str, int]:
+    """Stage-5 entry point used by the checker.
+
+    Replays every ``(diagnostic, hypothesis, conditions)`` triple, attaches
+    the :class:`WitnessReport` to the diagnostic, and returns verdict counts.
+    """
+    counts = {verdict.value: 0 for verdict in WitnessVerdict}
+    for diagnostic, hypothesis, conditions in findings:
+        witness = replay_diagnostic(function, encoder, diagnostic,
+                                    hypothesis, conditions, module=module,
+                                    fuel=fuel, timeout=timeout,
+                                    max_conflicts=max_conflicts)
+        diagnostic.witness = witness
+        counts[witness.verdict.value] += 1
+    return counts

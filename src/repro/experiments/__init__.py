@@ -13,6 +13,8 @@ same rows the paper reports:
 * :mod:`repro.experiments.casestudies` — the §6.2 case studies and the §6.3
   precision analysis,
 * :mod:`repro.experiments.completeness` — the §6.6 completeness benchmark,
+* :mod:`repro.experiments.witnesses` — stage-5 witness confirmation rates and
+  the differential optimizer campaign (§6.1/§6.3 made concrete),
 * :mod:`repro.experiments.common` — shared helpers (memoised snippet
   analysis, ASCII tables).
 """
@@ -29,6 +31,11 @@ from repro.experiments.casestudies import (
     run_precision,
 )
 from repro.experiments.completeness import CompletenessResult, run_completeness
+from repro.experiments.witnesses import (
+    WitnessExperimentResult,
+    run_witness_experiment,
+    run_witness_validation,
+)
 
 __all__ = [
     "CaseStudyResult",
@@ -39,6 +46,7 @@ __all__ = [
     "PrecisionResult",
     "PrevalenceResult",
     "SnippetAnalyzer",
+    "WitnessExperimentResult",
     "render_table",
     "run_case_studies",
     "run_completeness",
@@ -47,4 +55,6 @@ __all__ = [
     "run_figure9",
     "run_precision",
     "run_prevalence",
+    "run_witness_experiment",
+    "run_witness_validation",
 ]

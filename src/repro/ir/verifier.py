@@ -2,14 +2,17 @@
 
 The verifier catches malformed IR early (missing terminators, phi nodes whose
 incoming blocks are not predecessors, type mismatches, dangling block
-references).  The lowering pass and the inliner both run it in tests, and the
-checker runs it defensively before analysis.
+references, and SSA dominance violations — a value used in a reachable block
+that its definition does not dominate).  The lowering pass and the inliner
+both run it in tests, and the checker runs it defensively before analysis.
 """
 
 from __future__ import annotations
 
-from typing import List
+from typing import Dict, List, Tuple
 
+from repro.ir.cfg import reachable_blocks
+from repro.ir.dominators import DominatorTree
 from repro.ir.function import BasicBlock, Function, Module
 from repro.ir.instructions import (
     Branch,
@@ -73,6 +76,67 @@ def verify_function(function: Function) -> List[str]:
             problems.append(f"@{function.name}: ret void in a non-void function")
         if ret.value is not None and ret_type.is_void():
             problems.append(f"@{function.name}: ret with a value in a void function")
+
+    problems.extend(_verify_dominance(function))
+    return problems
+
+
+def _verify_dominance(function: Function) -> List[str]:
+    """SSA sanity: every use in a reachable block is dominated by its def.
+
+    Within one block the definition must come first; across blocks the
+    defining block must dominate the using block.  Phi uses are checked at
+    the incoming edge (the definition must dominate the predecessor), which
+    is what makes loop-carried values legal.
+    """
+    problems: List[str] = []
+    reachable = reachable_blocks(function)
+    dominators = DominatorTree(function)
+    position: Dict[int, Tuple[BasicBlock, int]] = {}
+    for block in function.blocks:
+        for index, inst in enumerate(block.instructions):
+            position[id(inst)] = (block, index)
+
+    for block in function.blocks:
+        if id(block) not in reachable:
+            continue
+        prefix = f"@{function.name}/%{block.name}"
+        for index, inst in enumerate(block.instructions):
+            if isinstance(inst, Phi):
+                for value, pred in inst.incoming:
+                    if not isinstance(value, Instruction):
+                        continue
+                    if id(pred) not in reachable:
+                        # The edge can never be taken; its value is vacuously
+                        # legal (LLVM's verifier skips these too).
+                        continue
+                    def_block = value.parent
+                    if def_block is None or not dominators.dominates(def_block,
+                                                                     pred):
+                        problems.append(
+                            f"{prefix}: phi %{inst.name} incoming value "
+                            f"{value.short_name()} does not dominate the "
+                            f"edge from %{pred.name}")
+                continue
+            for operand in inst.operands:
+                if not isinstance(operand, Instruction):
+                    continue
+                where = position.get(id(operand))
+                if where is None:
+                    problems.append(
+                        f"{prefix}: use of {operand.short_name()}, which is "
+                        f"not in the function")
+                    continue
+                def_block, def_index = where
+                if def_block is block:
+                    if def_index >= index:
+                        problems.append(
+                            f"{prefix}: {operand.short_name()} used before "
+                            f"its definition")
+                elif not dominators.dominates(def_block, block):
+                    problems.append(
+                        f"{prefix}: use of {operand.short_name()} is not "
+                        f"dominated by its definition in %{def_block.name}")
     return problems
 
 

@@ -89,6 +89,30 @@ def _rewrite(mgr: TermManager, t: Term) -> Term:
     # (x + c1) cmp x  and  x cmp (x + c1) patterns are left to the checker's
     # algebra oracle; here we only normalise a few cheap identities.
 
+    if op in (Op.BVXOR, Op.BVSUB) and t.args[0] is t.args[1]:
+        # x ^ x -> 0 and x - x -> 0 (hash-consing makes identity exact).
+        return mgr.bv_const(0, t.sort.width)
+    if op in (Op.BVAND, Op.BVOR) and t.args[0] is t.args[1]:
+        # x & x -> x and x | x -> x
+        return t.args[0]
+
+    if op in (Op.BVAND, Op.BVOR, Op.BVXOR):
+        width = t.sort.width
+        ones = (1 << width) - 1
+        for this, other in ((t.args[0], t.args[1]), (t.args[1], t.args[0])):
+            if not other.is_const():
+                continue
+            if other.value == 0:
+                # x & 0 -> 0;  x | 0 -> x;  x ^ 0 -> x
+                return mgr.bv_const(0, width) if op is Op.BVAND else this
+            if other.value == ones:
+                # x & ~0 -> x;  x | ~0 -> ~0;  x ^ ~0 -> ~x
+                if op is Op.BVAND:
+                    return this
+                if op is Op.BVOR:
+                    return mgr.bv_const(ones, width)
+                return mgr.bvnot(this)
+
     if op in (Op.EQ, Op.DISTINCT) and t.args[0].sort.is_bv():
         lhs, rhs = t.args
         # (a - b) == 0  ->  a == b

@@ -207,19 +207,31 @@ class Solver:
             raise TypeError("only boolean terms can be asserted")
         self._frames[-1].terms.append(term)
 
-    def push(self) -> None:
-        """Push a backtracking point (a new assertion frame)."""
-        self._frames.append(_Frame())
+    def push(self) -> "_Frame":
+        """Push a backtracking point; returns an opaque frame token.
 
-    def pop(self) -> None:
+        Pass the token back to :meth:`pop` to assert LIFO discipline when
+        several callers share one solver.
+        """
+        frame = _Frame()
+        self._frames.append(frame)
+        return frame
+
+    def pop(self, expected: Optional["_Frame"] = None) -> None:
         """Pop to the most recent backtracking point.
 
         In incremental mode the popped frame's activation literal is
         permanently negated, which retires its assertions without discarding
-        learned clauses or encodings.
+        learned clauses or encodings.  When ``expected`` (a token from
+        :meth:`push`) is given, popping anything else raises instead of
+        silently retiring another caller's frame.
         """
         if len(self._frames) == 1:
             raise RuntimeError("pop without matching push")
+        if expected is not None and self._frames[-1] is not expected:
+            raise RuntimeError(
+                "pop does not match the pushed frame (non-LIFO use of a "
+                "shared solver)")
         frame = self._frames.pop()
         if frame.act is not None and self._cnf is not None:
             self._cnf.add_clause([-frame.act])
@@ -413,6 +425,12 @@ class Solver:
                 self._failed_assumptions = [t for t, lit in delta_pairs
                                             if lit == failed_lit]
                 self.stats.assumption_failures += 1
+            elif failed_lit is not None and any(frame.act == failed_lit
+                                                for frame in self._frames):
+                # A frame's activation literal was refuted: the asserted
+                # frames themselves are inconsistent, no per-call term is to
+                # blame (the documented empty-list contract).
+                self._failed_assumptions = []
             else:
                 self._note_failure(deltas)
             return CheckResult.UNSAT

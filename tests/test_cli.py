@@ -1,0 +1,109 @@
+"""Tests for the ``python -m repro`` command-line interface."""
+
+import json
+
+import pytest
+
+from repro.__main__ import build_parser, main
+
+UNSTABLE = """
+int write_check(char *buf, char *buf_end, unsigned int len) {
+    if (buf + len >= buf_end) return -1;
+    if (buf + len < buf) return -1;
+    return 0;
+}
+"""
+
+STABLE = """
+int safe_div(int a, int b) {
+    if (b == 0) return 0;
+    return a / b;
+}
+"""
+
+
+def write(tmp_path, name, source):
+    path = tmp_path / name
+    path.write_text(source, encoding="utf-8")
+    return str(path)
+
+
+def test_reports_unstable_code_and_exits_1(tmp_path, capsys):
+    code = main([write(tmp_path, "unstable.c", UNSTABLE)])
+    out = capsys.readouterr().out
+    assert code == 1
+    assert "unstable code" in out
+    assert "warning(s)" in out
+
+
+def test_stable_code_exits_0(tmp_path, capsys):
+    code = main([write(tmp_path, "stable.c", STABLE)])
+    out = capsys.readouterr().out
+    assert code == 0
+    assert "no unstable code found" in out
+
+
+def test_json_output_matches_sink_format(tmp_path, capsys):
+    path = write(tmp_path, "unstable.c", UNSTABLE)
+    code = main([path, "--json"])
+    record = json.loads(capsys.readouterr().out)
+    assert code == 1
+    assert record["type"] == "unit"
+    assert record["unit"] == path
+    assert record["queries"] > 0
+    assert len(record["diagnostics"]) >= 2
+    assert record["diagnostics"][0]["witness"] is None
+
+
+def test_validate_attaches_witnesses(tmp_path, capsys):
+    code = main([write(tmp_path, "unstable.c", UNSTABLE), "--json",
+                 "--validate"])
+    record = json.loads(capsys.readouterr().out)
+    assert code == 1
+    assert record["witnesses_confirmed"] == len(record["diagnostics"])
+    for diagnostic in record["diagnostics"]:
+        assert diagnostic["witness"]["verdict"] == "confirmed"
+
+
+def test_validate_human_readable(tmp_path, capsys):
+    code = main([write(tmp_path, "unstable.c", UNSTABLE), "--validate"])
+    out = capsys.readouterr().out
+    assert code == 1
+    assert "witness confirmed" in out
+    assert "witness validation:" in out
+
+
+def test_stdin_input(tmp_path, capsys, monkeypatch):
+    import io
+
+    monkeypatch.setattr("sys.stdin", io.StringIO(STABLE))
+    assert main(["-"]) == 0
+    assert "no unstable code" in capsys.readouterr().out
+
+
+def test_missing_file_exits_2(tmp_path, capsys):
+    code = main([str(tmp_path / "missing.c")])
+    assert code == 2
+    assert "cannot read" in capsys.readouterr().err
+
+
+def test_uncompilable_source_exits_2(tmp_path, capsys):
+    code = main([write(tmp_path, "broken.c", "int f( {")])
+    assert code == 2
+    assert "error" in capsys.readouterr().err
+
+
+def test_show_config_prints_checker_config(tmp_path, capsys):
+    main([write(tmp_path, "stable.c", STABLE), "--show-config",
+          "--no-incremental", "--timeout", "2.5"])
+    out = capsys.readouterr().out
+    assert "CheckerConfig:" in out
+    assert "incremental = False" in out
+    assert "solver_timeout = 2.5" in out
+
+
+def test_parser_flags_exist():
+    parser = build_parser()
+    args = parser.parse_args(["file.c", "--json", "--validate",
+                              "--max-conflicts", "100"])
+    assert args.json and args.validate and args.max_conflicts == 100

@@ -1,0 +1,342 @@
+"""Tests for the concrete-execution subsystem (repro.exec)."""
+
+import pytest
+
+from repro.api import check_source, compile_source
+from repro.compilers.passes import Capability
+from repro.compilers.pipeline import OptimizationPipeline
+from repro.compilers.profiles import profile_by_name
+from repro.core.checker import CheckerConfig
+from repro.core.report import diagnostic_signature
+from repro.core.ubconditions import UBKind
+from repro.engine.sink import diagnostic_to_dict, report_to_dict
+from repro.exec import (
+    DiffClassification,
+    ExecStatus,
+    ExternalEnv,
+    WitnessVerdict,
+    clone_function,
+    clone_module,
+    run_differential,
+    run_function,
+)
+from repro.ir.printer import print_function
+
+
+def compile_one(source, name):
+    module = compile_source(source)
+    function = module.get_function(name)
+    assert function is not None
+    return module, function
+
+
+class TestInterpreter:
+    def test_arithmetic_and_branching(self):
+        _, func = compile_one("""
+            int alloc_guard(int len) {
+                if (len + 100 < len)
+                    return -1;
+                return len + 100;
+            }
+        """, "alloc_guard")
+        ok = run_function(func, [5])
+        assert ok.returned and ok.signed_value() == 105
+        assert not ok.events
+
+        overflow = run_function(func, [2 ** 31 - 3])
+        # Unoptimized semantics: the wrapped sum makes the check fire...
+        assert overflow.returned and overflow.signed_value() == -1
+        # ...and the signed overflow is recorded as a concrete UB event.
+        assert [e.kind for e in overflow.events] == [UBKind.SIGNED_OVERFLOW]
+        assert overflow.events[0].location.is_known()
+
+    def test_loop_and_fuel(self):
+        _, func = compile_one("""
+            int sum(int n) {
+                int t = 0;
+                for (int i = 0; i < n; i = i + 1)
+                    t = t + i;
+                return t;
+            }
+        """, "sum")
+        assert run_function(func, [10]).signed_value() == 45
+        starved = run_function(func, [1000000], fuel=100)
+        assert starved.status is ExecStatus.OUT_OF_FUEL
+
+    def test_division_semantics(self):
+        _, func = compile_one(
+            "int div(int a, int b) { return a / b; }", "div")
+        # C truncates toward zero.
+        assert run_function(func, [-7, 2]).signed_value() == -3
+        by_zero = run_function(func, [5, 0])
+        # Division by zero is UB; the C* machine defines the result as 0.
+        assert by_zero.returned and by_zero.signed_value() == 0
+        assert UBKind.DIV_BY_ZERO in by_zero.ub_kinds
+
+        int_min = -(2 ** 31)
+        wrap = run_function(func, [int_min, -1])
+        assert UBKind.SIGNED_OVERFLOW in wrap.ub_kinds
+        assert wrap.signed_value() == int_min
+
+    def test_oversized_shift(self):
+        _, func = compile_one(
+            "unsigned int shl(unsigned int x, unsigned int s) { return x << s; }",
+            "shl")
+        ok = run_function(func, [1, 4])
+        assert ok.value == 16 and not ok.events
+        oversized = run_function(func, [1, 40])
+        assert oversized.value == 0
+        assert UBKind.OVERSIZED_SHIFT in oversized.ub_kinds
+
+    def test_memory_roundtrip_and_bounds(self):
+        _, func = compile_one("""
+            int pick(int idx) {
+                int table[4];
+                table[0] = 10; table[1] = 11; table[2] = 12; table[3] = 13;
+                return table[idx];
+            }
+        """, "pick")
+        assert run_function(func, [2]).signed_value() == 12
+        oob = run_function(func, [99])
+        assert UBKind.BUFFER_OVERFLOW in oob.ub_kinds
+
+    def test_null_dereference(self):
+        _, func = compile_one("""
+            struct req { int flags; int status; };
+            int touch(struct req *r) {
+                r->status = 7;
+                return r->flags;
+            }
+        """, "touch")
+        result = run_function(func, [0])
+        assert UBKind.NULL_DEREF in result.ub_kinds
+        fine = run_function(func, [0x2000])
+        assert not fine.events
+
+    def test_use_after_free(self):
+        _, func = compile_one("""
+            int drop(int *state) {
+                free(state);
+                int last = *state;
+                return last;
+            }
+        """, "drop")
+        result = run_function(func, [0x4000])
+        assert UBKind.USE_AFTER_FREE in result.ub_kinds
+
+    def test_defined_callees_interpret_recursively(self):
+        module, func = compile_one("""
+            int helper(int x) { return x + 1; }
+            int outer(int x) { return helper(x) * 2; }
+        """, "outer")
+        result = run_function(func, [20], module=module)
+        assert result.signed_value() == 42
+
+    def test_external_world_is_deterministic(self):
+        _, func = compile_one("""
+            int peek(int *p) { return *p; }
+        """, "peek")
+        env_a = ExternalEnv(seed=3, zero_fill=False)
+        env_b = ExternalEnv(seed=3, zero_fill=False)
+        first = run_function(func, [0x9000], env=env_a)
+        second = run_function(func, [0x9000], env=env_b)
+        assert first.value == second.value
+        different = run_function(func, [0x9000],
+                                 env=ExternalEnv(seed=4, zero_fill=False))
+        # Not a hard guarantee, but a 64-bit collision would be remarkable.
+        assert different.value != first.value
+
+    def test_load_override_by_result_name(self):
+        _, func = compile_one("""
+            struct tun { long sk; };
+            long grab(struct tun *t) { return t->sk; }
+        """, "grab")
+        load_name = next(i.name for i in func.instructions()
+                         if i.opcode() == "load")
+        env = ExternalEnv(overrides={load_name: 99})
+        assert run_function(func, [0x8000], env=env).signed_value() == 99
+
+    def test_stop_on_ub(self):
+        _, func = compile_one(
+            "int div(int a, int b) { return a / b; }", "div")
+        halted = run_function(func, [1, 0], stop_on_ub=True)
+        assert halted.status is ExecStatus.STOPPED_ON_UB
+        assert halted.value is None
+
+
+class TestClone:
+    def test_clone_is_identical_and_independent(self):
+        module, func = compile_one("""
+            int write_check(char *buf, char *buf_end, unsigned int len) {
+                if (buf + len >= buf_end) return -1;
+                if (buf + len < buf) return -1;
+                return 0;
+            }
+        """, "write_check")
+        printed = print_function(func)
+        clone = clone_function(func)
+        assert print_function(clone) == printed
+
+        # Optimizing the clone must not disturb the original.
+        OptimizationPipeline(capabilities=set(Capability)).run_function(clone)
+        assert print_function(func) == printed
+        assert print_function(clone) != printed
+
+    def test_clone_module(self):
+        module = compile_source("""
+            int f(int x) { return x + 1; }
+            int g(int x) { return f(x) * 2; }
+        """)
+        copy = clone_module(module)
+        assert sorted(copy.functions) == sorted(module.functions)
+        assert copy.get_function("f") is not module.get_function("f")
+        result = run_function(copy.get_function("g"), [4], module=copy)
+        assert result.signed_value() == 10
+
+    def test_clone_executes_identically(self):
+        _, func = compile_one("""
+            int sum(int n) {
+                int t = 0;
+                for (int i = 0; i < n; i = i + 1)
+                    t = t + i;
+                return t;
+            }
+        """, "sum")
+        clone = clone_function(func)
+        assert run_function(clone, [9]).signed_value() == \
+            run_function(func, [9]).signed_value()
+
+
+POINTER_CHECK = """
+int write_check(char *buf, char *buf_end, unsigned int len) {
+    if (buf + len >= buf_end) return -1;
+    if (buf + len < buf) return -1;
+    return 0;
+}
+"""
+
+
+class TestWitnessValidation:
+    def test_diagnostics_gain_confirmed_witnesses(self):
+        report = check_source(POINTER_CHECK,
+                              config=CheckerConfig(validate_witnesses=True))
+        assert report.bugs
+        for bug in report.bugs:
+            witness = bug.witness
+            assert witness is not None
+            assert witness.verdict is WitnessVerdict.CONFIRMED
+            assert UBKind.POINTER_OVERFLOW in witness.observed_kinds
+            assert witness.diverged            # the check really disappears
+            assert "buf" in witness.inputs
+        assert report.witnesses_confirmed == len(report.bugs)
+        assert report.witnesses_unconfirmed == 0
+        assert report.witnesses_validated == len(report.bugs)
+        assert "witness validation" in report.describe()
+        assert "witness confirmed" in report.bugs[0].describe()
+
+    def test_validation_off_by_default(self):
+        report = check_source(POINTER_CHECK)
+        assert all(bug.witness is None for bug in report.bugs)
+        assert report.witnesses_validated == 0
+
+    def test_validation_does_not_change_diagnostics(self):
+        plain = check_source(POINTER_CHECK)
+        validated = check_source(POINTER_CHECK,
+                                 config=CheckerConfig(validate_witnesses=True))
+        assert sorted(map(diagnostic_signature, plain.bugs)) == \
+            sorted(map(diagnostic_signature, validated.bugs))
+
+    def test_sink_records_carry_witnesses(self):
+        report = check_source(POINTER_CHECK,
+                              config=CheckerConfig(validate_witnesses=True))
+        record = report_to_dict("unit0", report)
+        assert record["witnesses_confirmed"] == len(report.bugs)
+        assert record["functions"][0]["witnesses"]["confirmed"] == \
+            len(report.bugs)
+        diagnostic = diagnostic_to_dict(report.bugs[0])
+        assert diagnostic["witness"]["verdict"] == "confirmed"
+        assert diagnostic["witness"]["diverged"] is True
+        import json
+        json.dumps(record)      # the whole record must stay JSON-serializable
+
+    def test_stable_code_validates_nothing(self):
+        report = check_source("""
+            int safe_div(int a, int b) {
+                if (b == 0) return 0;
+                return a / b;
+            }
+        """, config=CheckerConfig(validate_witnesses=True))
+        assert not report.bugs
+        assert report.witnesses_validated == 0
+
+    def test_engine_aggregates_witness_counters(self):
+        from repro.api import check_corpus
+
+        result = check_corpus([("unit0", POINTER_CHECK)],
+                              config=CheckerConfig(validate_witnesses=True))
+        assert result.stats.witnesses_confirmed >= 2
+        assert result.stats.as_dict()["witnesses"]["unconfirmed"] == 0
+
+
+class TestDifferential:
+    def make_units(self):
+        return [
+            ("guard", compile_source("""
+                int guard(int x) {
+                    if (x + 100 < x) return -1;
+                    return 0;
+                }
+            """)),
+            ("safe", compile_source("""
+                unsigned int add_sat(unsigned int x) {
+                    if (x + 16u < x) return 4294967295u;
+                    return x + 16u;
+                }
+            """)),
+        ]
+
+    def test_no_miscompiles_and_ub_justified_divergence(self):
+        report = run_differential(
+            self.make_units(),
+            profiles=[profile_by_name("gcc-4.8.1"),
+                      profile_by_name("gcc-2.95.3")],
+            inputs_per_function=8, seed=0)
+        assert report.miscompiles == []
+        assert report.counts[DiffClassification.AGREE.value] > 0
+        per = report.by_profile["gcc-4.8.1"]
+        # gcc-4.8.1 folds the signed check, so the INT_MAX-ish inputs diverge
+        # -- and every such divergence is UB-justified.
+        assert per.get(DiffClassification.UB_JUSTIFIED.value, 0) >= 1
+        # gcc-2.95.3 has the fold too (signed at -O1), but the *unsigned*
+        # wraparound check is defined behavior and must never diverge.
+        for case in report.cases:
+            assert case.function != "add_sat" or \
+                case.classification is not DiffClassification.MISCOMPILE
+
+    def test_runs_are_reproducible(self):
+        units = self.make_units()
+        first = run_differential(units, profiles=[profile_by_name("gcc-4.8.1")],
+                                 inputs_per_function=5, seed=11)
+        second = run_differential(self.make_units(),
+                                  profiles=[profile_by_name("gcc-4.8.1")],
+                                  inputs_per_function=5, seed=11)
+        assert first.counts == second.counts
+        assert [c.describe() for c in first.cases] == \
+            [c.describe() for c in second.cases]
+
+    def test_render_mentions_every_profile(self):
+        report = run_differential(self.make_units(),
+                                  profiles=[profile_by_name("clang-3.3")],
+                                  inputs_per_function=3, seed=2)
+        assert "clang-3.3" in report.render()
+
+
+class TestWitnessExperiment:
+    def test_snippet_corpus_confirms_everything(self):
+        from repro.experiments.witnesses import run_witness_validation
+
+        result = run_witness_validation()
+        assert result.validated >= 20
+        assert result.unconfirmed == 0
+        assert result.confirmation_rate == 1.0
+        assert "TOTAL" in result.render()

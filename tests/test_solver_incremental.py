@@ -276,3 +276,62 @@ def test_incremental_stats_reach_function_report():
     if fn.sat_calls:
         assert fn.blasted_clauses > 0
     assert report.contexts == sum(f.contexts for f in report.functions)
+
+
+# -- failure attribution and frame discipline --------------------------------------
+
+
+class TestFailureAttribution:
+    def test_inconsistent_frames_report_no_failed_assumptions(self, mgr):
+        # The asserted frames alone are UNSAT; the per-call assumption must
+        # not be blamed (the documented empty-list contract).
+        x = mgr.bv_var("x", WIDTH)
+        y = mgr.bv_var("y", WIDTH)
+        solver = _incremental(mgr)
+        solver.add(mgr.bvult(x, mgr.bv_const(3, WIDTH)))
+        solver.add(mgr.bvugt(x, mgr.bv_const(5, WIDTH)))
+        failures_before = solver.stats.assumption_failures
+        result = solver.check(assumptions=[mgr.bvugt(y, mgr.bv_const(0, WIDTH))])
+        assert result is CheckResult.UNSAT
+        assert solver.failed_assumptions() == []
+        assert solver.stats.assumption_failures == failures_before
+
+    def test_failing_assumption_still_identified(self, mgr):
+        x = mgr.bv_var("x", WIDTH)
+        solver = _incremental(mgr)
+        solver.add(mgr.bvult(x, mgr.bv_const(3, WIDTH)))
+        bad = mgr.bvugt(x, mgr.bv_const(5, WIDTH))
+        assert solver.check(assumptions=[bad]) is CheckResult.UNSAT
+        assert solver.failed_assumptions() == [bad]
+
+
+class TestFrameDiscipline:
+    def test_non_lifo_pop_raises(self, mgr):
+        x = mgr.bv_var("x", WIDTH)
+        solver = _incremental(mgr)
+        first = solver.push()
+        solver.add(mgr.bvult(x, mgr.bv_const(10, WIDTH)))
+        second = solver.push()
+        with pytest.raises(RuntimeError, match="non-LIFO"):
+            solver.pop(first)
+        solver.pop(second)
+        solver.pop(first)
+
+    def test_non_lifo_context_close_raises(self):
+        from repro.core.encode import FunctionEncoder
+        from repro.core.queries import QueryEngine
+        from repro.api import compile_source
+
+        module = compile_source("int f(int x) { return x + 1; }")
+        encoder = FunctionEncoder(next(iter(module.defined_functions())))
+        engine = QueryEngine(encoder, timeout=20.0)
+        mgr = encoder.manager
+        x = mgr.bv_var("v", WIDTH)
+        outer = engine.context([mgr.bvult(x, mgr.bv_const(10, WIDTH))])
+        inner = engine.context([mgr.bvult(x, mgr.bv_const(5, WIDTH))])
+        assert outer.is_unsat() is False
+        assert inner.is_unsat() is False
+        with pytest.raises(RuntimeError, match="non-LIFO"):
+            outer.close()
+        inner.close()
+        outer.close()
