@@ -1,0 +1,57 @@
+"""Stage-6: auto-repair rate and the zero-unsound-patch invariant.
+
+The repair subsystem's contract is asymmetric: missing a repair is an
+honest gap (``no template`` / ``rejected``), but *emitting* a patch that
+any gate did not prove is unsound.  This harness regenerates the repair
+table over the snippet corpus and asserts:
+
+* every emitted patch carries all three gate verdicts, every one passed,
+  and the unified diff is non-empty — the zero-unsound-patch invariant,
+* the per-gate rejection counters are consistent with the verdicts (no
+  candidate was silently dropped),
+* the template library repairs at least half of the corpus diagnostics
+  (the acceptance bar for the subsystem), with every template family
+  represented in full mode.
+"""
+
+from repro.repair import GATES, RepairStatus
+from repro.experiments.repair import run_repair_experiment
+
+
+def test_repair_rate_and_soundness(once, fast_mode, engine_workers):
+    result = once(run_repair_experiment, fast=fast_mode,
+                  workers=engine_workers)
+    print()
+    print(result.render())
+
+    assert result.attempted > 0
+
+    # Zero-unsound-patch invariant: a diagnostic is only REPAIRED when all
+    # three gates ran and passed, and the patch is a real diff.
+    for diagnostic in result.diagnostics:
+        repair = diagnostic.repair
+        assert repair is not None
+        if repair.status is RepairStatus.REPAIRED:
+            assert repair.all_gates_passed, diagnostic
+            assert len(repair.gates) == len(GATES)
+            assert [g.gate for g in repair.gates] == \
+                ["solver-equivalence", "stability-recheck", "witness-replay"]
+            assert repair.patch.startswith("--- a/"), diagnostic
+            assert "+++ b/" in repair.patch
+        else:
+            # Nothing half-verified leaks out of a non-repaired diagnostic.
+            assert not repair.patch, diagnostic
+
+    # Bookkeeping consistency: the three buckets partition the attempts.
+    assert result.repaired + result.rejected + result.no_template == \
+        result.attempted
+
+    # The acceptance bar: at least half of the snippet-corpus diagnostics
+    # receive a verified patch (in fast mode the subset is representative).
+    assert result.repair_rate >= 0.5, result.render()
+
+    if not fast_mode:
+        templates_used = {row.templates for row in result.rows if row.templates}
+        flat = {name for joined in templates_used for name in joined.split(",")}
+        assert flat == {"pointer-bound-check", "reorder-guard",
+                        "widen-signed-arithmetic", "guard-oversized-shift"}

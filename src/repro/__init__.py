@@ -19,6 +19,10 @@ This package re-implements the full system in Python:
   with runtime UB detection, witness replay for diagnostics
   (``CheckerConfig(validate_witnesses=True)``), and differential testing of
   the UB-exploiting optimizer,
+* :mod:`repro.repair` — the auto-repair subsystem
+  (``CheckerConfig(repair=True)``): template rewrites for unstable idioms,
+  each patch proven by solver equivalence, a stability re-check under every
+  compiler profile, and witness replay before it is reported,
 * :mod:`repro.experiments` — drivers that regenerate every table and figure.
 
 Quickstart::
@@ -45,6 +49,8 @@ __all__ = [
     "Diagnostic",
     "EngineConfig",
     "EngineResult",
+    "RepairReport",
+    "RepairStatus",
     "SolverQueryCache",
     "StackChecker",
     "check_corpus",
@@ -72,6 +78,8 @@ _LAZY_ATTRS = {
     "CheckEngine": ("repro.engine.engine", "CheckEngine"),
     "EngineConfig": ("repro.engine.engine", "EngineConfig"),
     "EngineResult": ("repro.engine.engine", "EngineResult"),
+    "RepairReport": ("repro.repair.repair", "RepairReport"),
+    "RepairStatus": ("repro.repair.repair", "RepairStatus"),
     "SolverQueryCache": ("repro.engine.cache", "SolverQueryCache"),
     "run_differential": ("repro.exec.diff", "run_differential"),
     "run_function": ("repro.exec.interp", "run_function"),

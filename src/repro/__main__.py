@@ -4,7 +4,12 @@ The smallest useful slice of ``stack-build``: check one C-like source file
 for optimization-unstable code and print the report.  ``--json`` emits the
 same record the engine's JSONL sink streams (one ``unit`` object, see
 docs/ENGINE.md), so shell pipelines and the corpus engine share a format.
-``--validate`` enables the stage-5 concrete witness replay (docs/EXEC.md).
+``--validate`` enables the stage-5 concrete witness replay (docs/EXEC.md);
+``--repair`` enables the stage-6 solver-verified auto-repair and
+``--patch-out`` writes the emitted unified IR diffs to a file (or ``-``
+for stdout).  ``--seed`` feeds the witness/repair replays and ``--diff``
+(the seeded differential optimizer run), so validation runs reproduce bit
+for bit.
 
 Exit status: 0 — no unstable code, 1 — warnings reported, 2 — the input
 could not be compiled or read.
@@ -34,6 +39,21 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument("--validate", action="store_true",
                         help="replay a concrete witness for every diagnostic "
                              "through the IR interpreter (stage 5)")
+    parser.add_argument("--repair", action="store_true",
+                        help="propose and verify patches for every "
+                             "diagnostic (stage 6: template rewrites behind "
+                             "the three-gate verifier)")
+    parser.add_argument("--patch-out", metavar="PATH", default=None,
+                        help="with --repair: write the emitted unified IR "
+                             "diffs to PATH ('-' for stdout)")
+    parser.add_argument("--seed", type=int, default=0, metavar="N",
+                        help="seed for the witness/repair replay environment "
+                             "and the --diff differential runner "
+                             "(default: 0)")
+    parser.add_argument("--diff", action="store_true",
+                        help="additionally run the seeded differential "
+                             "optimizer campaign for this file against every "
+                             "compiler profile and print the table")
     parser.add_argument("--timeout", type=float, default=5.0, metavar="SECONDS",
                         help="per-query solver timeout (default: 5.0)")
     parser.add_argument("--max-conflicts", type=int, default=50_000,
@@ -45,6 +65,23 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument("--show-config", action="store_true",
                         help="print the active CheckerConfig before checking")
     return parser
+
+
+def _write_patches(report, path: str) -> None:
+    """Concatenate every emitted patch into one unified-diff stream."""
+    chunks = []
+    for bug in report.bugs:
+        repair = bug.repair
+        if repair is None or not repair.repaired or not repair.patch:
+            continue
+        chunks.append(f"# {bug.location}: {repair.template} — "
+                      f"{repair.description}\n{repair.patch}")
+    text = "\n".join(chunks) if chunks else "# no patches emitted\n"
+    if path == "-":
+        sys.stdout.write(text)
+    else:
+        with open(path, "w", encoding="utf-8") as handle:
+            handle.write(text)
 
 
 def main(argv: Optional[List[str]] = None) -> int:
@@ -67,6 +104,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         max_conflicts=args.max_conflicts,
         incremental=not args.no_incremental,
         validate_witnesses=args.validate,
+        witness_seed=args.seed,
+        repair=args.repair,
     )
     if args.show_config:
         print(config.describe())
@@ -83,6 +122,26 @@ def main(argv: Optional[List[str]] = None) -> int:
         print(json.dumps(report_to_dict(filename, report), indent=2))
     else:
         print(report.describe())
+
+    if args.diff:
+        from repro.api import compile_source
+        from repro.exec.diff import run_differential
+
+        # The checker inlines the module it analyzes; the differential
+        # campaign runs on a fresh compile of the same source.  With
+        # --json the table goes to stderr so stdout stays one parseable
+        # record.
+        module = compile_source(source, filename=filename)
+        diff = run_differential([(filename, module)], seed=args.seed)
+        stream = sys.stderr if args.json else sys.stdout
+        print(file=stream)
+        print(diff.render(), file=stream)
+        for case in diff.miscompiles:
+            print(case.describe(), file=stream)
+
+    if args.repair and args.patch_out is not None:
+        _write_patches(report, args.patch_out)
+
     return 1 if report.bugs else 0
 
 

@@ -34,6 +34,12 @@ stage-5 concrete validation: each diagnostic's solver model is replayed
 through the IR interpreter before and after the UB-exploiting optimizer,
 and ``bug.witness`` records whether the warning was concretely confirmed
 (docs/EXEC.md).
+
+Pass ``CheckerConfig(repair=True)`` to also run the stage-6 auto-repair:
+``bug.repair`` then carries the template rewrite that survived the
+three-gate verifier (solver equivalence on UB-free inputs, stability
+re-check under every compiler profile, witness replay) as a unified IR
+diff, or the per-gate reasons no candidate did (docs/REPAIR.md).
 """
 
 from __future__ import annotations

@@ -160,6 +160,11 @@ class UBAwareInstSimplifyPass:
                 if replacement is None:
                     continue
                 self._replace_uses(function, inst, replacement)
+                # Retire the folded comparison, as a real compiler would:
+                # leaving it in place would re-match the rule every
+                # iteration and the pipeline would never reach a fixed
+                # point (its statistics counted each re-fold).
+                block.instructions.remove(inst)
                 folded += 1
         context.folded_comparisons += folded
         return folded
@@ -372,6 +377,7 @@ class NullCheckEliminationPass:
                 if replacement is None:
                     continue
                 simplify._replace_uses(function, inst, replacement)
+                block.instructions.remove(inst)
                 folded += 1
         context.folded_comparisons += folded
         return folded

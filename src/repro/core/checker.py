@@ -15,6 +15,13 @@ generation: every diagnostic's solver model is replayed through the concrete
 interpreter (:mod:`repro.exec`), before and after the UB-exploiting
 optimizer, and the witness verdict is attached to the diagnostic
 (docs/EXEC.md).
+
+With ``CheckerConfig.repair`` a sixth stage runs after that: the repair
+template library (:mod:`repro.repair`) proposes candidate rewrites for each
+diagnostic, and every candidate must clear the three-gate verifier (solver
+equivalence on UB-free inputs, stability re-check under every built-in
+compiler profile, witness replay) before the patch is attached as
+``Diagnostic.repair`` (docs/REPAIR.md).
 """
 
 from __future__ import annotations
@@ -83,6 +90,13 @@ class CheckerConfig:
     validate_witnesses: bool = False
     #: Instruction budget per concrete witness replay.
     witness_fuel: int = 50_000
+    #: Seed of the external environment used by witness replay and the
+    #: repair verifier's replay gate (CLI: ``--seed``), so validation runs
+    #: reproduce exactly.
+    witness_seed: int = 0
+    #: Stage 6: propose template rewrites for every diagnostic and attach
+    #: the patches that clear the three-gate verifier (docs/REPAIR.md).
+    repair: bool = False
 
     def describe(self) -> str:
         """Render the active configuration for reports and logs.
@@ -161,6 +175,7 @@ class StackChecker:
 
         diagnostics: List[Diagnostic] = []
         witness_work = []         # (diagnostic, hypothesis, conditions) triples
+        repair_work = []          # the same, plus the originating finding
         suppressed = 0
         for finding in elimination_findings:
             if finding.trivially_dead:
@@ -172,6 +187,8 @@ class StackChecker:
             diagnostics.append(diagnostic)
             witness_work.append((diagnostic, finding.hypothesis,
                                  finding.conditions))
+            repair_work.append((diagnostic, finding, finding.hypothesis,
+                                finding.conditions))
         for finding in simplification_findings:
             if finding.trivially_simplified:
                 continue
@@ -182,6 +199,8 @@ class StackChecker:
             diagnostics.append(diagnostic)
             witness_work.append((diagnostic, finding.hypothesis,
                                  finding.conditions))
+            repair_work.append((diagnostic, finding, finding.hypothesis,
+                                finding.conditions))
 
         if self.config.classify:
             classify_all(diagnostics)
@@ -194,11 +213,27 @@ class StackChecker:
                 function, encoder, witness_work,
                 fuel=self.config.witness_fuel,
                 timeout=self.config.solver_timeout,
-                max_conflicts=self.config.max_conflicts)
+                max_conflicts=self.config.max_conflicts,
+                seed=self.config.witness_seed)
             result.witnesses_confirmed = counts["confirmed"]
             result.witnesses_unconfirmed = counts["unconfirmed"]
             result.witnesses_inconclusive = counts["inconclusive"]
             result.witness_time = time.monotonic() - witness_started
+
+        if self.config.repair and repair_work:
+            from repro.repair import repair_diagnostics
+
+            repair_started = time.monotonic()
+            counts = repair_diagnostics(function, encoder, repair_work,
+                                        self.config, cache=self.query_cache)
+            result.repairs_attempted = counts["attempted"]
+            result.repairs_succeeded = counts["repaired"]
+            result.repairs_rejected = counts["rejected"]
+            result.repairs_no_template = counts["no_template"]
+            result.repair_gate_equivalence_rejects = counts["gate_equivalence"]
+            result.repair_gate_recheck_rejects = counts["gate_recheck"]
+            result.repair_gate_replay_rejects = counts["gate_replay"]
+            result.repair_time = time.monotonic() - repair_started
 
         result.diagnostics = diagnostics
         result.suppressed_compiler_origin = suppressed

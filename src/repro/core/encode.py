@@ -73,7 +73,8 @@ class FunctionEncoder:
 
     def __init__(self, function: Function,
                  manager: Optional[TermManager] = None,
-                 options: Optional[EncoderOptions] = None) -> None:
+                 options: Optional[EncoderOptions] = None,
+                 serial_start: int = 0) -> None:
         self.function = function
         self.manager = manager if manager is not None else TermManager()
         self.options = options if options is not None else EncoderOptions()
@@ -83,7 +84,11 @@ class FunctionEncoder:
         self._reach: Dict[int, Term] = {}
         self._ub: Dict[int, List[UBCondition]] = {}
         self._definitions: Dict[str, List[Term]] = {}
-        self._serial = 0
+        # Two encoders can share one manager (the repair equivalence gate
+        # encodes original and patched side by side): a distinct serial
+        # range keeps their fresh variables from accidentally unifying,
+        # while same-named arguments still hash-cons to shared terms.
+        self._serial = serial_start
         self._freed_pointers: List[Tuple[Call, Value, str]] = []
         self._collect_lifetime_events()
 

@@ -105,9 +105,13 @@ class QueryContext:
         """
         if self._closed:
             return
-        self._closed = True
         if self._frame is not None:
+            # Pop before marking closed: a failed non-LIFO pop must leave
+            # the context open so a later (correctly ordered) close can
+            # still retire the frame — otherwise the base assertions leak
+            # into the shared solver and poison every later verdict.
             self.engine._shared_solver.pop(self._frame)
+        self._closed = True
 
     def is_unsat(self, deltas: Sequence[Term] = ()) -> Optional[bool]:
         """Decide whether base ∧ deltas (∧ their definitions) is UNSAT.

@@ -63,6 +63,9 @@ class Diagnostic:
     #: Concrete replay verdict (a :class:`repro.exec.witness.WitnessReport`),
     #: attached by stage 5 when ``CheckerConfig.validate_witnesses`` is set.
     witness: Optional["WitnessReport"] = None
+    #: Auto-repair verdict (a :class:`repro.repair.repair.RepairReport`),
+    #: attached by stage 6 when ``CheckerConfig.repair`` is set.
+    repair: Optional["RepairReport"] = None
 
     @property
     def ub_kinds(self) -> List[UBKind]:
@@ -79,6 +82,8 @@ class Diagnostic:
             lines.append(f"  classification: {self.classification}")
         if self.witness is not None:
             lines.append(f"  {self.witness.describe()}")
+        if self.repair is not None:
+            lines.append(f"  {self.repair.describe()}")
         return "\n".join(lines)
 
     def __repr__(self) -> str:
@@ -128,6 +133,15 @@ class FunctionReport:
     witnesses_unconfirmed: int = 0          # probable false positive
     witnesses_inconclusive: int = 0         # no model / out of fuel
     witness_time: float = 0.0               # seconds spent replaying
+    # Stage-6 auto-repair counters (repro.repair / docs/REPAIR.md):
+    repairs_attempted: int = 0              # diagnostics stage 6 considered
+    repairs_succeeded: int = 0              # a candidate cleared all 3 gates
+    repairs_rejected: int = 0               # every candidate failed a gate
+    repairs_no_template: int = 0            # the library proposed nothing
+    repair_gate_equivalence_rejects: int = 0
+    repair_gate_recheck_rejects: int = 0
+    repair_gate_replay_rejects: int = 0
+    repair_time: float = 0.0                # seconds spent in stage 6
 
     @property
     def witnesses_validated(self) -> int:
@@ -214,6 +228,38 @@ class BugReport:
     def witness_time(self) -> float:
         return sum(f.witness_time for f in self.functions)
 
+    @property
+    def repairs_attempted(self) -> int:
+        return sum(f.repairs_attempted for f in self.functions)
+
+    @property
+    def repairs_succeeded(self) -> int:
+        return sum(f.repairs_succeeded for f in self.functions)
+
+    @property
+    def repairs_rejected(self) -> int:
+        return sum(f.repairs_rejected for f in self.functions)
+
+    @property
+    def repairs_no_template(self) -> int:
+        return sum(f.repairs_no_template for f in self.functions)
+
+    @property
+    def repair_gate_equivalence_rejects(self) -> int:
+        return sum(f.repair_gate_equivalence_rejects for f in self.functions)
+
+    @property
+    def repair_gate_recheck_rejects(self) -> int:
+        return sum(f.repair_gate_recheck_rejects for f in self.functions)
+
+    @property
+    def repair_gate_replay_rejects(self) -> int:
+        return sum(f.repair_gate_replay_rejects for f in self.functions)
+
+    @property
+    def repair_time(self) -> float:
+        return sum(f.repair_time for f in self.functions)
+
     def by_algorithm(self) -> Dict[Algorithm, int]:
         counts = {algorithm: 0 for algorithm in Algorithm}
         for diagnostic in self.bugs:
@@ -246,6 +292,12 @@ class BugReport:
                          f"confirmed, {self.witnesses_unconfirmed} unconfirmed, "
                          f"{self.witnesses_inconclusive} inconclusive "
                          f"({self.witness_time:.2f}s replaying)")
+        if self.repairs_attempted:
+            lines.append(f"auto-repair: {self.repairs_succeeded} of "
+                         f"{self.repairs_attempted} diagnostics repaired, "
+                         f"{self.repairs_rejected} rejected by the verifier, "
+                         f"{self.repairs_no_template} without a template "
+                         f"({self.repair_time:.2f}s in stage 6)")
         return "\n".join(lines)
 
     def merge(self, other: "BugReport") -> None:

@@ -86,6 +86,15 @@ class RunStats:
     witnesses_unconfirmed: int = 0
     witnesses_inconclusive: int = 0
     witness_time: float = 0.0
+    # Stage-6 auto-repair totals (repro.repair / docs/REPAIR.md):
+    repairs_attempted: int = 0
+    repairs_succeeded: int = 0
+    repairs_rejected: int = 0
+    repairs_no_template: int = 0
+    repair_gate_equivalence_rejects: int = 0
+    repair_gate_recheck_rejects: int = 0
+    repair_gate_replay_rejects: int = 0
+    repair_time: float = 0.0
 
     def as_dict(self) -> Dict[str, object]:
         return {
@@ -107,6 +116,18 @@ class RunStats:
                 "unconfirmed": self.witnesses_unconfirmed,
                 "inconclusive": self.witnesses_inconclusive,
                 "witness_time": round(self.witness_time, 6),
+            },
+            "repair": {
+                "attempted": self.repairs_attempted,
+                "repaired": self.repairs_succeeded,
+                "rejected": self.repairs_rejected,
+                "no_template": self.repairs_no_template,
+                "gate_rejections": {
+                    "equivalence": self.repair_gate_equivalence_rejects,
+                    "recheck": self.repair_gate_recheck_rejects,
+                    "replay": self.repair_gate_replay_rejects,
+                },
+                "repair_time": round(self.repair_time, 6),
             },
         }
 
@@ -288,6 +309,17 @@ class CheckEngine:
             stats.witnesses_unconfirmed += report.witnesses_unconfirmed
             stats.witnesses_inconclusive += report.witnesses_inconclusive
             stats.witness_time += report.witness_time
+            stats.repairs_attempted += report.repairs_attempted
+            stats.repairs_succeeded += report.repairs_succeeded
+            stats.repairs_rejected += report.repairs_rejected
+            stats.repairs_no_template += report.repairs_no_template
+            stats.repair_gate_equivalence_rejects += \
+                report.repair_gate_equivalence_rejects
+            stats.repair_gate_recheck_rejects += \
+                report.repair_gate_recheck_rejects
+            stats.repair_gate_replay_rejects += \
+                report.repair_gate_replay_rejects
+            stats.repair_time += report.repair_time
         stats.solver_queries = stats.queries - stats.cache_hits
         return stats
 

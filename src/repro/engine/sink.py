@@ -33,6 +33,8 @@ def diagnostic_to_dict(diagnostic: Diagnostic) -> Dict[str, object]:
         "classification": diagnostic.classification,
         "witness": diagnostic.witness.as_dict()
         if diagnostic.witness is not None else None,
+        "repair": diagnostic.repair.as_dict()
+        if diagnostic.repair is not None else None,
     }
 
 
@@ -66,6 +68,18 @@ def report_to_dict(name: str, report: BugReport, attempts: int = 1,
                     "inconclusive": fr.witnesses_inconclusive,
                     "witness_time": round(fr.witness_time, 6),
                 },
+                "repair": {
+                    "attempted": fr.repairs_attempted,
+                    "repaired": fr.repairs_succeeded,
+                    "rejected": fr.repairs_rejected,
+                    "no_template": fr.repairs_no_template,
+                    "gate_rejections": {
+                        "equivalence": fr.repair_gate_equivalence_rejects,
+                        "recheck": fr.repair_gate_recheck_rejects,
+                        "replay": fr.repair_gate_replay_rejects,
+                    },
+                    "repair_time": round(fr.repair_time, 6),
+                },
             }
             for fr in report.functions
         ],
@@ -83,6 +97,11 @@ def report_to_dict(name: str, report: BugReport, attempts: int = 1,
         "witnesses_unconfirmed": report.witnesses_unconfirmed,
         "witnesses_inconclusive": report.witnesses_inconclusive,
         "witness_time": round(report.witness_time, 6),
+        "repairs_attempted": report.repairs_attempted,
+        "repairs_succeeded": report.repairs_succeeded,
+        "repairs_rejected": report.repairs_rejected,
+        "repairs_no_template": report.repairs_no_template,
+        "repair_time": round(report.repair_time, 6),
     }
 
 

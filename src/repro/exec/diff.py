@@ -22,7 +22,6 @@ results, un-backed memory), so a failure reproduces exactly.
 from __future__ import annotations
 
 import enum
-import hashlib
 from dataclasses import dataclass, field
 from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 
@@ -30,7 +29,7 @@ from repro.compilers.pipeline import OptimizationPipeline
 from repro.compilers.profiles import ALL_PROFILES, CompilerProfile
 from repro.core.ubconditions import UBKind
 from repro.exec.clone import clone_function
-from repro.exec.interp import ExecStatus, ExternalEnv, run_function
+from repro.exec.interp import ExecStatus, ExternalEnv, run_function, seed_hash
 from repro.ir.function import Function, Module
 
 
@@ -125,24 +124,19 @@ _PATTERNS = (
 )
 
 
-def _hash_value(seed: int, key: str, width: int) -> int:
-    digest = hashlib.sha256(f"{seed}:{key}".encode()).digest()
-    return int.from_bytes(digest[:8], "little") & ((1 << width) - 1)
-
-
 def argument_vector(function: Function, seed: int, input_index: int) -> List[int]:
     """The deterministic argument vector for one differential execution."""
     args: List[int] = []
     for position, argument in enumerate(function.arguments):
         width = argument.type.bit_width
         choices = len(_PATTERNS) + 1
-        pick = _hash_value(seed, f"{function.name}.pick.{position}.{input_index}",
-                           8) % choices
+        pick = seed_hash(seed, f"{function.name}.pick.{position}.{input_index}",
+                         8) % choices
         if pick < len(_PATTERNS):
             value = _PATTERNS[pick](width) & ((1 << width) - 1)
         else:
-            value = _hash_value(seed, f"{function.name}.arg.{position}."
-                                      f"{input_index}", width)
+            value = seed_hash(seed, f"{function.name}.arg.{position}."
+                                    f"{input_index}", width)
         args.append(value)
     return args
 
@@ -176,7 +170,7 @@ def run_differential(units: Iterable[Tuple[str, Module]],
             for input_index in range(inputs_per_function):
                 args = argument_vector(function, seed, input_index)
                 env = ExternalEnv(
-                    seed=seed ^ _hash_value(seed, f"{unit_name}.{input_index}", 32),
+                    seed=seed ^ seed_hash(seed, f"{unit_name}.{input_index}", 32),
                     zero_fill=False)
                 pre = run_function(function, args, module=module, env=env,
                                    fuel=fuel)

@@ -124,6 +124,17 @@ class ExecResult:
         return "\n".join(out)
 
 
+def seed_hash(seed: int, key: str, width: int) -> int:
+    """The deterministic seed-derivation primitive of the exec subsystem.
+
+    One definition on purpose: the external environment and the
+    differential runner's argument vectors must draw from the same stream,
+    or seeded runs stop being comparable.
+    """
+    digest = hashlib.sha256(f"{seed}:{key}".encode()).digest()
+    return int.from_bytes(digest[:8], "little") & ((1 << width) - 1)
+
+
 class ExternalEnv:
     """Deterministic source of every value the program cannot compute.
 
@@ -142,8 +153,7 @@ class ExternalEnv:
         self.zero_fill = zero_fill
 
     def _hash(self, key: str, width: int) -> int:
-        digest = hashlib.sha256(f"{self.seed}:{key}".encode()).digest()
-        return int.from_bytes(digest[:8], "little") & ((1 << width) - 1)
+        return seed_hash(self.seed, key, width)
 
     def value_for(self, key: str, width: int) -> int:
         if key in self.overrides:

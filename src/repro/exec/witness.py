@@ -161,7 +161,8 @@ def replay_diagnostic(function: Function, encoder: FunctionEncoder,
                       module: Optional[Module] = None,
                       fuel: int = 50_000,
                       timeout: Optional[float] = 5.0,
-                      max_conflicts: Optional[int] = 50_000) -> WitnessReport:
+                      max_conflicts: Optional[int] = 50_000,
+                      seed: int = 0) -> WitnessReport:
     """Extract a witness for one diagnostic and replay it pre/post optimizer."""
     reported = tuple(dict.fromkeys(diagnostic.ub_kinds)) or \
         tuple(dict.fromkeys(c.kind for c in conditions))
@@ -176,7 +177,7 @@ def replay_diagnostic(function: Function, encoder: FunctionEncoder,
     args, overrides = model_to_inputs(encoder, model)
     inputs = {argument.name: value
               for argument, value in zip(function.arguments, args)}
-    env = ExternalEnv(overrides=overrides, zero_fill=True)
+    env = ExternalEnv(seed=seed, overrides=overrides, zero_fill=True)
 
     pre = run_function(function, args, module=module, env=env, fuel=fuel)
     optimized = clone_function(function)
@@ -193,10 +194,13 @@ def _judge(pre: ExecResult, post: ExecResult, inputs: Dict[str, int],
                                e.kind for e in pre.events)),
                            reported_kinds=reported,
                            pre=pre.observable(), post=post.observable())
-    if pre.status in (ExecStatus.OUT_OF_FUEL, ExecStatus.TRAPPED):
-        report.reason = f"replay {pre.status.value}" + \
-            (f": {pre.error}" if pre.error else "")
-        return report
+    for label, result in (("replay", pre), ("optimized replay", post)):
+        if result.status in (ExecStatus.OUT_OF_FUEL, ExecStatus.TRAPPED):
+            # A starved or trapped run on either side is a budget artifact,
+            # not evidence of divergence.
+            report.reason = f"{label} {result.status.value}" + \
+                (f": {result.error}" if result.error else "")
+            return report
     report.diverged = pre.observable() != post.observable()
 
     observed = set(report.observed_kinds)
@@ -223,18 +227,21 @@ def validate_diagnostics(function: Function, encoder: FunctionEncoder,
                          module: Optional[Module] = None,
                          fuel: int = 50_000,
                          timeout: Optional[float] = 5.0,
-                         max_conflicts: Optional[int] = 50_000) -> Dict[str, int]:
+                         max_conflicts: Optional[int] = 50_000,
+                         seed: int = 0) -> Dict[str, int]:
     """Stage-5 entry point used by the checker.
 
     Replays every ``(diagnostic, hypothesis, conditions)`` triple, attaches
     the :class:`WitnessReport` to the diagnostic, and returns verdict counts.
+    ``seed`` feeds the replay's :class:`ExternalEnv` so CLI and library runs
+    reproduce bit for bit.
     """
     counts = {verdict.value: 0 for verdict in WitnessVerdict}
     for diagnostic, hypothesis, conditions in findings:
         witness = replay_diagnostic(function, encoder, diagnostic,
                                     hypothesis, conditions, module=module,
                                     fuel=fuel, timeout=timeout,
-                                    max_conflicts=max_conflicts)
+                                    max_conflicts=max_conflicts, seed=seed)
         diagnostic.witness = witness
         counts[witness.verdict.value] += 1
     return counts

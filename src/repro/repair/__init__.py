@@ -1,0 +1,63 @@
+"""repro.repair — solver-verified auto-repair of unstable code (stage 6).
+
+STACK stops at diagnosis: it proves a fragment is optimization-unstable
+and leaves the fix to the developer — every case study in the paper ends
+in a hand-written patch.  This package closes that loop mechanically with
+the same generate-and-verify shape solver-backed superoptimizers use:
+
+* :mod:`repro.repair.templates` — a library of candidate rewrites for the
+  recurring unstable idioms (widen narrow signed arithmetic, reorder a
+  null check above the dominating dereference, guard oversized shifts,
+  compare pointer sums as unsigned integers),
+* :mod:`repro.repair.verify` — the three-gate verifier: a solver
+  equivalence proof on all UB-free inputs, a full stability re-check under
+  every built-in compiler profile's -O3 pipeline, and a concrete replay of
+  the diagnostic's own witness confirming it no longer splits compilers,
+* :mod:`repro.repair.rewrite` — the IR surgery primitives the templates
+  share (clone-with-maps, comparison splicing, guard-preserving sinking,
+  dead-code cleanup),
+* :mod:`repro.repair.repair` — orchestration: first candidate through all
+  three gates wins, and the diagnostic gains a :class:`RepairReport` with
+  a unified before/after IR diff.
+
+Enable it with ``CheckerConfig(repair=True)`` (CLI: ``python -m repro
+--repair``); per-diagnostic verdicts ride ``Diagnostic.repair``, and the
+counters flow through ``FunctionReport``/``BugReport``/``RunStats`` and
+the engine's JSONL sink.  See ``docs/REPAIR.md``.
+"""
+
+from repro.repair.repair import (
+    GATES,
+    RepairReport,
+    RepairStatus,
+    repair_diagnostic,
+    repair_diagnostics,
+    unified_patch,
+)
+from repro.repair.templates import (
+    DEFAULT_TEMPLATES,
+    RepairCandidate,
+    propose_candidates,
+)
+from repro.repair.verify import (
+    GateResult,
+    prove_equivalence,
+    recheck_stability,
+    replay_original_witness,
+)
+
+__all__ = [
+    "DEFAULT_TEMPLATES",
+    "GATES",
+    "GateResult",
+    "RepairCandidate",
+    "RepairReport",
+    "RepairStatus",
+    "propose_candidates",
+    "prove_equivalence",
+    "recheck_stability",
+    "repair_diagnostic",
+    "repair_diagnostics",
+    "replay_original_witness",
+    "unified_patch",
+]

@@ -1,0 +1,268 @@
+"""IR surgery primitives shared by the repair templates.
+
+Templates never mutate the function under diagnosis: they clone it first
+(:func:`clone_with_map` returns the positional original→clone maps, since
+block names are not unique after lowering) and edit the clone.  The edits
+themselves are the three moves every template reduces to:
+
+* :func:`replace_comparison` — splice a freshly built instruction chain in
+  front of a comparison and redirect every use to the new result,
+* :func:`sink_instructions` — move straight-line instructions from above a
+  guard into one successor (splitting the edge when the successor has other
+  predecessors), so the guard stops being dominated by the operation whose
+  undefined behavior made it foldable,
+* :func:`remove_dead_code` — drop the value instructions the rewrite
+  orphaned, so their UB conditions disappear from the patched function's
+  well-defined assumption.
+
+Every helper keeps result names stable: names are how the witness replay
+layer and the equivalence gate correlate the external world (loads, calls)
+between the original and the patched function.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+from repro.exec.clone import clone_function
+from repro.ir.function import BasicBlock, Function
+from repro.ir.instructions import (
+    Alloca,
+    BinaryOp,
+    Branch,
+    Call,
+    Cast,
+    CondBranch,
+    GetElementPtr,
+    ICmp,
+    Instruction,
+    Load,
+    Phi,
+    Select,
+)
+from repro.ir.values import Value
+
+
+def clone_with_map(function: Function) -> Tuple[Function, Dict[int, Instruction],
+                                                Dict[int, BasicBlock]]:
+    """Clone ``function`` and return positional original→clone maps.
+
+    Block names are not unique after lowering (every ``if`` contributes an
+    ``if.then``), so findings are carried over to the clone by position:
+    :func:`repro.exec.clone.clone_function` preserves the block list and the
+    per-block instruction order exactly.
+    """
+    clone = clone_function(function)
+    inst_map: Dict[int, Instruction] = {}
+    block_map: Dict[int, BasicBlock] = {}
+    for old_block, new_block in zip(function.blocks, clone.blocks):
+        block_map[id(old_block)] = new_block
+        for old_inst, new_inst in zip(old_block.instructions,
+                                      new_block.instructions):
+            inst_map[id(old_inst)] = new_inst
+    return clone, inst_map, block_map
+
+
+def replace_all_uses(function: Function, old: Value, new: Value) -> None:
+    """Redirect every operand reference to ``old`` onto ``new``."""
+    for block in function.blocks:
+        for inst in block.instructions:
+            if inst is old:
+                continue
+            inst.replace_operand(old, new)
+
+
+def replace_comparison(function: Function, cmp: ICmp,
+                       new_instructions: Sequence[Instruction],
+                       replacement: Instruction) -> None:
+    """Insert ``new_instructions`` before ``cmp`` and retire it.
+
+    ``replacement`` (normally the last of the new instructions) takes over
+    every use of ``cmp``; the old comparison is removed outright so the
+    re-check gate never sees the unstable shape again.
+    """
+    block = cmp.parent
+    if block is None:
+        raise ValueError("comparison is not attached to a block")
+    index = block.instructions.index(cmp)
+    for offset, inst in enumerate(new_instructions):
+        inst.parent = block
+        block.instructions.insert(index + offset, inst)
+    replace_all_uses(function, cmp, replacement)
+    block.instructions.remove(cmp)
+
+
+def _within_block_closure(block: BasicBlock,
+                          roots: Iterable[Instruction]) -> List[Instruction]:
+    """Instructions of ``block`` the roots transitively depend on."""
+    needed: Dict[int, Instruction] = {}
+    worklist = list(roots)
+    while worklist:
+        inst = worklist.pop()
+        for operand in inst.operands:
+            if isinstance(operand, Instruction) and operand.parent is block \
+                    and id(operand) not in needed:
+                needed[id(operand)] = operand
+                worklist.append(operand)
+    return list(needed.values())
+
+
+def movable_prefix(block: BasicBlock, cmp: ICmp) -> List[Instruction]:
+    """The instructions above ``cmp`` that the rest of the block can spare.
+
+    Everything ``cmp``, the instructions after it, or the terminator
+    transitively needs stays put; phis stay put; the rest — in original
+    order — may be sunk below the guard.
+    """
+    index = block.instructions.index(cmp)
+    kept_roots = block.instructions[index:]
+    needed = {id(i) for i in _within_block_closure(block, kept_roots)}
+    movable = []
+    for inst in block.instructions[:index]:
+        if isinstance(inst, Phi) or id(inst) in needed:
+            continue
+        movable.append(inst)
+    return movable
+
+
+def _used_by_phi(function: Function, instructions: Sequence[Instruction]) -> bool:
+    moved = {id(i) for i in instructions}
+    for block in function.blocks:
+        for phi in block.phis():
+            for value, _pred in phi.incoming:
+                if id(value) in moved:
+                    return True
+    return False
+
+
+def sink_instructions(function: Function, block: BasicBlock,
+                      moved: Sequence[Instruction],
+                      successor: BasicBlock) -> Optional[BasicBlock]:
+    """Move ``moved`` (in order) from ``block`` into ``successor``.
+
+    When the successor has other predecessors the edge is split first, so
+    the sunk instructions run only when control arrives from ``block``.
+    Returns the block that received the instructions, or ``None`` when the
+    move is structurally impossible (a phi consumes a moved value, or the
+    branch does not actually reach ``successor``).
+    """
+    terminator = block.terminator
+    if not isinstance(terminator, CondBranch):
+        return None
+    if successor not in (terminator.if_true, terminator.if_false):
+        return None
+    if terminator.if_true is terminator.if_false:
+        return None
+    if _used_by_phi(function, moved):
+        return None
+
+    target = successor
+    if len(successor.predecessors()) > 1:
+        target = function.add_block()
+        bridge = Branch(target=successor, location=terminator.location,
+                        origin=terminator.origin)
+        bridge.parent = target
+        target.instructions.append(bridge)
+        if terminator.if_true is successor:
+            terminator.if_true = target
+        else:
+            terminator.if_false = target
+        for phi in successor.phis():
+            phi.incoming = [(value, target if pred is block else pred)
+                            for value, pred in phi.incoming]
+
+    insert_at = 0
+    while insert_at < len(target.instructions) and \
+            isinstance(target.instructions[insert_at], Phi):
+        insert_at += 1
+    for offset, inst in enumerate(moved):
+        block.instructions.remove(inst)
+        inst.parent = target
+        target.instructions.insert(insert_at + offset, inst)
+    return target
+
+
+def sink_to_use_block(function: Function, block: BasicBlock,
+                      moved: Sequence[Instruction]) -> Optional[BasicBlock]:
+    """Move pure instructions from ``block`` to the block that uses them.
+
+    The fallback when no direct successor works (e.g. a ``||`` chain whose
+    joined branch sits between the guard and the use): when every use
+    outside the moved set lives in one other block, the whole group can be
+    recomputed at the top of that block instead.  Only side-effect-free
+    instructions qualify — the group then executes on strictly fewer
+    paths, all of which previously computed the same values.
+    """
+    if any(not isinstance(inst, _PURE_CLASSES) for inst in moved):
+        return None
+    if _used_by_phi(function, moved):
+        return None
+    moved_ids = {id(inst) for inst in moved}
+    use_blocks = set()
+    for inst in function.instructions():
+        if id(inst) in moved_ids:
+            continue
+        for operand in inst.operands:
+            if id(operand) in moved_ids:
+                use_blocks.add(inst.parent)
+    if len(use_blocks) != 1:
+        return None
+    target = use_blocks.pop()
+    if target is block or target is None:
+        return None
+
+    insert_at = 0
+    while insert_at < len(target.instructions) and \
+            isinstance(target.instructions[insert_at], Phi):
+        insert_at += 1
+    for offset, inst in enumerate(moved):
+        block.instructions.remove(inst)
+        inst.parent = target
+        target.instructions.insert(insert_at + offset, inst)
+    return target
+
+
+#: Instruction classes whose removal can only shrink the set of UB
+#: conditions: pure value producers with no observable side effect in the
+#: interpreter's semantics.  Stores, calls, and terminators stay.
+_PURE_CLASSES = (BinaryOp, ICmp, Cast, GetElementPtr, Select, Load, Alloca)
+
+
+def remove_dead_code(function: Function) -> int:
+    """Drop unused pure instructions (to a fixed point); returns the count."""
+    removed = 0
+    while True:
+        used: set = set()
+        for inst in function.instructions():
+            for operand in inst.operands:
+                used.add(id(operand))
+        for block in function.blocks:
+            for phi in block.phis():
+                for value, _pred in phi.incoming:
+                    used.add(id(value))
+        dead = [inst for inst in function.instructions()
+                if isinstance(inst, _PURE_CLASSES) and id(inst) not in used]
+        if not dead:
+            return removed
+        for inst in dead:
+            assert inst.parent is not None
+            inst.parent.instructions.remove(inst)
+            removed += 1
+
+
+def carries_ub_risk(inst: Instruction) -> bool:
+    """Heuristic: does this instruction contribute Figure 3 UB conditions?"""
+    from repro.ir.instructions import BinOpKind, Store
+
+    if isinstance(inst, (Load, Store, GetElementPtr, Call)):
+        return True
+    if isinstance(inst, BinaryOp):
+        risky = {BinOpKind.SDIV, BinOpKind.UDIV, BinOpKind.SREM,
+                 BinOpKind.UREM, BinOpKind.SHL, BinOpKind.LSHR,
+                 BinOpKind.ASHR}
+        if inst.kind in risky:
+            return True
+        arithmetic = {BinOpKind.ADD, BinOpKind.SUB, BinOpKind.MUL}
+        return inst.kind in arithmetic and inst.type.is_integer() \
+            and inst.type.signed
+    return False

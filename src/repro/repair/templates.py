@@ -1,0 +1,599 @@
+"""The repair template library: candidate rewrites for unstable code.
+
+Each template recognizes one family of unstable idioms from the paper's
+case studies and proposes a *candidate* — a cloned function with the idiom
+rewritten into a form whose value does not depend on undefined behavior.
+Templates are deliberately optimistic: a proposal is only a hypothesis, and
+every candidate must clear the three-gate verifier
+(:mod:`repro.repair.verify`) before it is reported.  The contract a
+candidate aims for is translation validation, not intent recovery: the
+patched function must compute the same results as the original on every
+input whose original execution is free of undefined behavior.
+
+Templates:
+
+* :class:`WidenSignedArithmeticTemplate` — recompute a comparison over a
+  signed ``add``/``sub``/``mul`` in twice the width (``sext`` operands,
+  wide arithmetic), so the paper's ``x + 100 < x`` overflow idiom stops
+  depending on the narrow operation's overflow.
+* :class:`ReorderGuardTemplate` — sink the UB-bearing instructions (the
+  dominating dereference, division, shift, copy, ...) from above a guard
+  into one successor, so the check executes before the operation it
+  guards — the fix the kernel applied for CVE-2009-1897.
+* :class:`GuardShiftTemplate` — replace ``(1 << x) == 0`` oversized-shift
+  probes with the explicit bound test ``x >= width`` (the ext4 patch).
+* :class:`PointerCompareToIntegerTemplate` — rewrite every pointer-sum
+  comparison through ``uintptr``-style unsigned integer arithmetic
+  (``ptrtoint`` + unsigned add), turning ``p + n < p`` wraparound idioms
+  into defined unsigned-wrap bound checks.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Tuple
+
+from repro.core.elimination import EliminationFinding
+from repro.core.report import Diagnostic
+from repro.core.ubconditions import UBKind
+from repro.ir.function import BasicBlock, Function
+from repro.ir.instructions import (
+    BinaryOp,
+    BinOpKind,
+    Call,
+    Cast,
+    CastKind,
+    CondBranch,
+    GetElementPtr,
+    ICmp,
+    ICmpPred,
+    Instruction,
+    Store,
+)
+from repro.ir.types import IntType
+from repro.ir.values import Constant, Value
+from repro.ir.verifier import verify_function
+from repro.repair.rewrite import (
+    carries_ub_risk,
+    clone_with_map,
+    movable_prefix,
+    remove_dead_code,
+    replace_all_uses,
+    replace_comparison,
+    sink_instructions,
+    sink_to_use_block,
+)
+
+
+@dataclass
+class RepairCandidate:
+    """One verified-later proposal: a patched clone of the function."""
+
+    template: str
+    description: str
+    patched: Function
+
+
+#: (comparison, block the finding says dies) pairs a template starts from.
+Culprit = Tuple[ICmp, Optional[BasicBlock]]
+
+
+def culprit_comparisons(finding) -> List[Culprit]:
+    """The comparisons whose instability a finding rests on.
+
+    Simplification findings name the comparison directly.  For elimination
+    findings the unstable block's fate is decided by the conditional
+    branches of its predecessors, so those branch conditions are the
+    candidates (paired with the doomed block, which reordering must avoid).
+    """
+    if isinstance(finding, EliminationFinding):
+        culprits: List[Culprit] = []
+        seen = set()
+        for pred in finding.block.predecessors():
+            terminator = pred.terminator
+            if not isinstance(terminator, CondBranch):
+                continue
+            for cmp in _branch_comparisons(terminator.condition):
+                if id(cmp) not in seen:
+                    seen.add(id(cmp))
+                    culprits.append((cmp, finding.block))
+        return culprits
+    instruction = getattr(finding, "instruction", None)
+    if isinstance(instruction, ICmp):
+        return [(instruction, None)]
+    return []
+
+
+def _branch_comparisons(condition: Value) -> List[ICmp]:
+    """The comparisons a branch condition rests on.
+
+    Short-circuit ``&&``/``||`` lowering routes the individual checks
+    through a phi in a ``logical.end`` block: the right-hand check arrives
+    as an incoming value, the left-hand one as the conditional branch of
+    the incoming edge's source block.  One phi level recovers both.
+    """
+    from repro.ir.instructions import Phi
+
+    if isinstance(condition, ICmp):
+        return [condition]
+    comparisons: List[ICmp] = []
+    if isinstance(condition, Phi):
+        for value, pred in condition.incoming:
+            if isinstance(value, ICmp):
+                comparisons.append(value)
+            terminator = pred.terminator
+            if isinstance(terminator, CondBranch) and \
+                    isinstance(terminator.condition, ICmp):
+                comparisons.append(terminator.condition)
+    return comparisons
+
+
+def diagnostic_kinds(diagnostic: Diagnostic, finding) -> frozenset:
+    """The UB kinds a template should match against.
+
+    The minimal-UB-set computation can come back empty (Figure 8 finds no
+    *single* responsible condition); the dominating conditions of the
+    finding are the honest fallback.
+    """
+    kinds = set(diagnostic.ub_kinds)
+    if not kinds:
+        kinds = {condition.kind
+                 for condition in getattr(finding, "conditions", ())}
+    return frozenset(kinds)
+
+
+def _verified_candidate(template: str, description: str,
+                        patched: Function) -> Optional[RepairCandidate]:
+    """Package a mutated clone, discarding it when the IR no longer verifies."""
+    if verify_function(patched):
+        return None
+    return RepairCandidate(template=template, description=description,
+                           patched=patched)
+
+
+class WidenSignedArithmeticTemplate:
+    """Recompute ``(x op c) cmp y`` in twice the width (§6.2's widening fix)."""
+
+    name = "widen-signed-arithmetic"
+    #: Widening an i64 comparison needs 128-bit equivalence queries; the
+    #: pure-Python solver budget is better spent elsewhere.
+    MAX_WIDTH = 32
+
+    _WIDENABLE = (BinOpKind.ADD, BinOpKind.SUB, BinOpKind.MUL)
+
+    def propose(self, function: Function, diagnostic: Diagnostic,
+                finding) -> List[RepairCandidate]:
+        if UBKind.SIGNED_OVERFLOW not in diagnostic_kinds(diagnostic,
+                                                           finding):
+            return []
+        candidates = []
+        for cmp, _flagged in culprit_comparisons(finding):
+            if not self._applicable(cmp):
+                continue
+            clone, inst_map, _ = clone_with_map(function)
+            candidate = self._rewrite(clone, inst_map[id(cmp)])
+            if candidate is not None:
+                candidates.append(candidate)
+        return candidates
+
+    def _applicable(self, cmp: ICmp) -> bool:
+        lhs, rhs = cmp.lhs, cmp.rhs
+        if not (lhs.type.is_integer() and rhs.type.is_integer()):
+            return False
+        if lhs.type.bit_width > self.MAX_WIDTH:
+            return False
+        return any(self._is_narrow_signed_arith(op) for op in (lhs, rhs))
+
+    def _is_narrow_signed_arith(self, value: Value) -> bool:
+        return isinstance(value, BinaryOp) and value.kind in self._WIDENABLE \
+            and value.type.is_integer() and value.type.signed
+
+    def _cone_has_mul(self, cmp: ICmp) -> bool:
+        worklist: List[Value] = [cmp.lhs, cmp.rhs]
+        while worklist:
+            value = worklist.pop()
+            if self._is_narrow_signed_arith(value):
+                if value.kind is BinOpKind.MUL:
+                    return True
+                worklist.extend([value.lhs, value.rhs])
+        return False
+
+    def _rewrite(self, clone: Function, cmp: ICmp) -> Optional[RepairCandidate]:
+        width = cmp.lhs.type.bit_width
+        # One extra bit makes add/sub exact (the encoder's own overflow
+        # encoding uses the same headroom); a mul in the cone needs the
+        # full doubled width.  Smaller widths keep the equivalence gate's
+        # bit-blasted query tractable for the pure-Python solver.
+        extra = width if self._cone_has_mul(cmp) else 1
+        wide = IntType(width + extra, signed=True)
+        new_insts: List[Instruction] = []
+        meta = {"location": cmp.location, "origin": cmp.origin}
+
+        def widen(value: Value) -> Value:
+            if isinstance(value, Constant):
+                return Constant(wide, value.value)
+            if self._is_narrow_signed_arith(value) and \
+                    value.type.bit_width == width:
+                wide_op = BinaryOp(value.kind, widen(value.lhs),
+                                   widen(value.rhs),
+                                   clone.next_name("widen"), **meta)
+                new_insts.append(wide_op)
+                return wide_op
+            signed = not (value.type.is_integer() and not value.type.signed)
+            kind = CastKind.SEXT if signed else CastKind.ZEXT
+            cast = Cast(kind, value, wide, clone.next_name("widen"), **meta)
+            new_insts.append(cast)
+            return cast
+
+        wide_lhs = widen(cmp.lhs)
+        wide_rhs = widen(cmp.rhs)
+        new_cmp = ICmp(cmp.pred, wide_lhs, wide_rhs,
+                       clone.next_name("widen"), **meta)
+        new_insts.append(new_cmp)
+        replace_comparison(clone, cmp, new_insts, new_cmp)
+        remove_dead_code(clone)
+        return _verified_candidate(
+            self.name,
+            f"recompute '{diag_fragment(cmp)}' in i{wide.width} so the "
+            "comparison no longer depends on narrow signed overflow", clone)
+
+
+class ReorderGuardTemplate:
+    """Sink the UB-bearing prefix of a block below its guard."""
+
+    name = "reorder-guard"
+
+    KINDS = frozenset({
+        UBKind.NULL_DEREF, UBKind.USE_AFTER_FREE, UBKind.USE_AFTER_REALLOC,
+        UBKind.DIV_BY_ZERO, UBKind.OVERSIZED_SHIFT, UBKind.BUFFER_OVERFLOW,
+        UBKind.MEMCPY_OVERLAP, UBKind.POINTER_OVERFLOW,
+    })
+
+    def propose(self, function: Function, diagnostic: Diagnostic,
+                finding) -> List[RepairCandidate]:
+        if not (self.KINDS & diagnostic_kinds(diagnostic, finding)):
+            return []
+        candidates: List[RepairCandidate] = []
+        for cmp, flagged in culprit_comparisons(finding):
+            block = cmp.parent
+            if block is None:
+                continue
+            terminator = block.terminator
+            if not (isinstance(terminator, CondBranch)
+                    and terminator.condition is cmp):
+                continue
+            moved = movable_prefix(block, cmp)
+            if not moved or not any(carries_ub_risk(i) for i in moved):
+                continue
+            successors = self._ordered_successors(terminator, cmp, flagged)
+            if any(self._writes_memory(inst) for inst in moved):
+                # Memory writes may only move to the side the heuristic
+                # ranks safe: the equivalence gate compares return values
+                # and the named external world, not caller-visible memory,
+                # so the wrong side would not be caught there.  (free and
+                # realloc are observationally inert in the interpreter's
+                # model; their placement stays gate-checked.)
+                successors = successors[:1]
+            for successor in successors:
+                candidate = self._rewrite(function, block, cmp, moved,
+                                          successor)
+                if candidate is not None:
+                    candidates.append(candidate)
+            candidate = self._rewrite_to_use_block(function, block, cmp, moved)
+            if candidate is not None:
+                candidates.append(candidate)
+        return candidates
+
+    @staticmethod
+    def _writes_memory(inst: Instruction) -> bool:
+        if isinstance(inst, Store):
+            return True
+        return isinstance(inst, Call) and inst.callee not in ("free", "realloc")
+
+    @staticmethod
+    def _ordered_successors(terminator: CondBranch, cmp: ICmp,
+                            flagged: Optional[BasicBlock]) -> List[BasicBlock]:
+        """Try the successor the guarded operation belongs on first.
+
+        For an elimination finding that is every successor except the doomed
+        block; for a null-style ``p == 0`` check it is the false edge.  The
+        other successor is still proposed — the verifier, not the heuristic,
+        has the final word.
+        """
+        successors = [terminator.if_true, terminator.if_false]
+        if flagged in successors:
+            successors.sort(key=lambda block: block is flagged)
+        elif cmp.pred is ICmpPred.EQ:
+            successors.reverse()
+        ordered: List[BasicBlock] = []
+        for successor in successors:
+            if successor not in ordered:
+                ordered.append(successor)
+        return ordered
+
+    def _rewrite(self, function: Function, block: BasicBlock, cmp: ICmp,
+                 moved: Sequence[Instruction],
+                 successor: BasicBlock) -> Optional[RepairCandidate]:
+        clone, inst_map, block_map = clone_with_map(function)
+        target = sink_instructions(
+            clone, block_map[id(block)],
+            [inst_map[id(inst)] for inst in moved],
+            block_map[id(successor)])
+        if target is None:
+            return None
+        remove_dead_code(clone)
+        return _verified_candidate(
+            self.name,
+            f"move {len(moved)} instruction(s) below the "
+            f"'{diag_fragment(cmp)}' guard so the check executes before "
+            "the operation it guards", clone)
+
+    def _rewrite_to_use_block(self, function: Function, block: BasicBlock,
+                              cmp: ICmp, moved: Sequence[Instruction],
+                              ) -> Optional[RepairCandidate]:
+        clone, inst_map, block_map = clone_with_map(function)
+        target = sink_to_use_block(clone, block_map[id(block)],
+                                   [inst_map[id(inst)] for inst in moved])
+        if target is None:
+            return None
+        remove_dead_code(clone)
+        return _verified_candidate(
+            self.name,
+            f"recompute {len(moved)} instruction(s) at their use site, "
+            f"below the '{diag_fragment(cmp)}' guard", clone)
+
+
+class GuardShiftTemplate:
+    """``(c << x) == 0`` probes become the explicit bound test ``x >= width``."""
+
+    name = "guard-oversized-shift"
+
+    def propose(self, function: Function, diagnostic: Diagnostic,
+                finding) -> List[RepairCandidate]:
+        if UBKind.OVERSIZED_SHIFT not in diagnostic_kinds(diagnostic,
+                                                           finding):
+            return []
+        candidates = []
+        for cmp, _flagged in culprit_comparisons(finding):
+            if self._match(cmp) is None:
+                continue
+            clone, inst_map, _ = clone_with_map(function)
+            candidate = self._rewrite(clone, inst_map[id(cmp)])
+            if candidate is not None:
+                candidates.append(candidate)
+        return candidates
+
+    @staticmethod
+    def _match(cmp: ICmp) -> Optional[BinaryOp]:
+        """The ``shl`` operand of an ``(odd_const << x) ==/!= 0`` probe."""
+        if cmp.pred not in (ICmpPred.EQ, ICmpPred.NE):
+            return None
+        for shifted, other in ((cmp.lhs, cmp.rhs), (cmp.rhs, cmp.lhs)):
+            if not (isinstance(other, Constant) and other.value == 0):
+                continue
+            if not (isinstance(shifted, BinaryOp)
+                    and shifted.kind is BinOpKind.SHL):
+                continue
+            base = shifted.lhs
+            # (c << x) mod 2^w is zero exactly when x >= w only for odd c;
+            # even bases can shift out high bits early.
+            if isinstance(base, Constant) and base.value % 2 == 1:
+                return shifted
+        return None
+
+    def _rewrite(self, clone: Function, cmp: ICmp) -> Optional[RepairCandidate]:
+        shifted = self._match(cmp)
+        assert shifted is not None
+        amount = shifted.rhs
+        width = shifted.type.bit_width
+        pred = ICmpPred.UGE if cmp.pred is ICmpPred.EQ else ICmpPred.ULT
+        bound = Constant(amount.type, width)
+        new_cmp = ICmp(pred, amount, bound, clone.next_name("guard"),
+                       location=cmp.location, origin=cmp.origin)
+        replace_comparison(clone, cmp, [new_cmp], new_cmp)
+        remove_dead_code(clone)
+        return _verified_candidate(
+            self.name,
+            f"replace '{diag_fragment(cmp)}' with the explicit shift bound "
+            f"test 'amount {pred.value} {width}'", clone)
+
+
+class PointerCompareToIntegerTemplate:
+    """Pointer-sum comparisons through defined unsigned integer arithmetic."""
+
+    name = "pointer-bound-check"
+
+    def propose(self, function: Function, diagnostic: Diagnostic,
+                finding) -> List[RepairCandidate]:
+        if UBKind.POINTER_OVERFLOW not in diagnostic_kinds(diagnostic,
+                                                            finding):
+            return []
+        if not any(self._has_gep_operand(cmp)
+                   for cmp, _ in culprit_comparisons(finding)):
+            return []
+        clone, _, _ = clone_with_map(function)
+        # The whole function is rewritten in one candidate: any surviving
+        # pointer-sum comparison would keep contributing the very pointer
+        # overflow assumption that made the culprit foldable, and the
+        # re-check gate would reject the patch.
+        rewritten = 0
+        for block in list(clone.blocks):
+            for cmp in [inst for inst in block.instructions
+                        if isinstance(inst, ICmp)]:
+                if self._rewrite_comparison(clone, cmp):
+                    rewritten += 1
+        if not rewritten:
+            return []
+        self._retire_non_memory_geps(clone)
+        remove_dead_code(clone)
+        candidate = _verified_candidate(
+            self.name,
+            f"compare {rewritten} pointer sum(s) as unsigned integers "
+            "(ptrtoint + unsigned add), making wraparound checks defined",
+            clone)
+        return [candidate] if candidate is not None else []
+
+    @staticmethod
+    def _strip_pointer_casts(value: Value) -> Value:
+        while isinstance(value, Cast) and value.type.is_pointer() \
+                and value.value.type.is_pointer():
+            value = value.value
+        return value
+
+    @classmethod
+    def _has_gep_operand(cls, cmp: ICmp) -> bool:
+        return any(isinstance(cls._strip_pointer_casts(op), GetElementPtr)
+                   for op in (cmp.lhs, cmp.rhs))
+
+    def _rewrite_comparison(self, clone: Function, cmp: ICmp) -> bool:
+        if not self._has_gep_operand(cmp):
+            return False
+        if not (cmp.lhs.type.is_pointer() and cmp.rhs.type.is_pointer()):
+            return False
+        meta = {"location": cmp.location, "origin": cmp.origin}
+        width = cmp.lhs.type.bit_width
+        uint = IntType(width, signed=False)
+        new_insts: List[Instruction] = []
+
+        def as_integer(value: Value) -> Value:
+            value = self._strip_pointer_casts(value)
+            if isinstance(value, GetElementPtr):
+                base = as_integer(value.pointer)
+                index = value.index
+                if index.type.bit_width != width:
+                    kind = CastKind.ZEXT if index.type.bit_width < width \
+                        else CastKind.TRUNC
+                    index = Cast(kind, index, uint,
+                                 clone.next_name("uptr"), **meta)
+                    new_insts.append(index)
+                else:
+                    # Unsigned reinterpretation keeps the add/mul below free
+                    # of signed-overflow conditions.
+                    index = Cast(CastKind.BITCAST, index, uint,
+                                 clone.next_name("uptr"), **meta)
+                    new_insts.append(index)
+                if value.element_size != 1:
+                    index = BinaryOp(BinOpKind.MUL, index,
+                                     Constant(uint, value.element_size),
+                                     clone.next_name("uptr"), **meta)
+                    new_insts.append(index)
+                total = BinaryOp(BinOpKind.ADD, base, index,
+                                 clone.next_name("uptr"), **meta)
+                new_insts.append(total)
+                return total
+            if isinstance(value, Constant):
+                return Constant(uint, value.value)
+            cast = Cast(CastKind.PTRTOINT, value, uint,
+                        clone.next_name("uptr"), **meta)
+            new_insts.append(cast)
+            return cast
+
+        lhs = as_integer(cmp.lhs)
+        rhs = as_integer(cmp.rhs)
+        new_cmp = ICmp(cmp.pred, lhs, rhs, clone.next_name("uptr"), **meta)
+        new_insts.append(new_cmp)
+        replace_comparison(clone, cmp, new_insts, new_cmp)
+        return True
+
+    def _retire_non_memory_geps(self, clone: Function) -> None:
+        """Replace geps that never feed a memory access with ``inttoptr``.
+
+        A gep that survives only to feed casts or calls (the Figure 11
+        ``strchr() + 1`` shape) would keep its pointer-overflow condition in
+        the patched function and the rewritten comparison would stay
+        foldable; recomputing the address as unsigned integer arithmetic
+        removes the condition without touching any load/store gep — those
+        keep their Figure 3 conditions intact.
+        """
+        for block in list(clone.blocks):
+            for gep in [inst for inst in block.instructions
+                        if isinstance(inst, GetElementPtr)]:
+                if self._feeds_memory_access(clone, gep):
+                    continue
+                users = [inst for inst in clone.instructions()
+                         if gep in inst.operands]
+                if not users:
+                    continue
+                meta = {"location": gep.location, "origin": gep.origin}
+                new_insts: List[Instruction] = []
+                width = gep.type.bit_width
+                uint = IntType(width, signed=False)
+
+                def rebuild(value: Value) -> Value:
+                    if isinstance(value, GetElementPtr):
+                        base = rebuild(value.pointer)
+                        index = Cast(CastKind.BITCAST, value.index, uint,
+                                     clone.next_name("uptr"), **meta)
+                        new_insts.append(index)
+                        scaled: Value = index
+                        if value.element_size != 1:
+                            scaled = BinaryOp(BinOpKind.MUL, index,
+                                              Constant(uint, value.element_size),
+                                              clone.next_name("uptr"), **meta)
+                            new_insts.append(scaled)
+                        total = BinaryOp(BinOpKind.ADD, base, scaled,
+                                         clone.next_name("uptr"), **meta)
+                        new_insts.append(total)
+                        return total
+                    cast = Cast(CastKind.PTRTOINT, value, uint,
+                                clone.next_name("uptr"), **meta)
+                    new_insts.append(cast)
+                    return cast
+
+                as_int = rebuild(gep)
+                pointer = Cast(CastKind.INTTOPTR, as_int, gep.type,
+                               clone.next_name("uptr"), **meta)
+                new_insts.append(pointer)
+                index_at = block.instructions.index(gep)
+                for offset, inst in enumerate(new_insts):
+                    inst.parent = block
+                    block.instructions.insert(index_at + offset, inst)
+                replace_all_uses(clone, gep, pointer)
+
+    @classmethod
+    def _feeds_memory_access(cls, clone: Function,
+                             gep: GetElementPtr) -> bool:
+        from repro.ir.instructions import Load, Store
+
+        derived = {id(gep)}
+        changed = True
+        while changed:
+            changed = False
+            for inst in clone.instructions():
+                if id(inst) in derived:
+                    continue
+                if isinstance(inst, (Cast, GetElementPtr)) and \
+                        any(id(op) in derived for op in inst.operands):
+                    derived.add(id(inst))
+                    changed = True
+        for inst in clone.instructions():
+            if isinstance(inst, Load) and id(inst.pointer) in derived:
+                return True
+            if isinstance(inst, Store) and id(inst.pointer) in derived:
+                return True
+        return False
+
+
+def diag_fragment(cmp: ICmp) -> str:
+    from repro.ir.printer import print_instruction
+
+    return print_instruction(cmp)
+
+
+#: Template application order: the intent-preserving rewrites first.
+DEFAULT_TEMPLATES = (
+    ReorderGuardTemplate(),
+    GuardShiftTemplate(),
+    PointerCompareToIntegerTemplate(),
+    WidenSignedArithmeticTemplate(),
+)
+
+
+def propose_candidates(function: Function, diagnostic: Diagnostic, finding,
+                       templates: Sequence = DEFAULT_TEMPLATES,
+                       ) -> List[RepairCandidate]:
+    """All candidates the template library offers for one diagnostic."""
+    candidates: List[RepairCandidate] = []
+    for template in templates:
+        candidates.extend(template.propose(function, diagnostic, finding))
+    return candidates

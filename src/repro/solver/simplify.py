@@ -96,6 +96,14 @@ def _rewrite(mgr: TermManager, t: Term) -> Term:
         # x & x -> x and x | x -> x
         return t.args[0]
 
+    if op in (Op.BVSHL, Op.BVLSHR, Op.BVASHR) and t.args[1].is_const() \
+            and t.args[1].value == 0:
+        # x << 0 -> x and x >> 0 -> x (logical and arithmetic alike).
+        return t.args[0]
+    if op is Op.BVNEG and t.args[0].op is Op.BVNEG:
+        # -(-x) -> x; the NOT/BVNOT double negations fold at construction.
+        return t.args[0].args[0]
+
     if op in (Op.BVAND, Op.BVOR, Op.BVXOR):
         width = t.sort.width
         ones = (1 << width) - 1

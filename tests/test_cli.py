@@ -107,3 +107,68 @@ def test_parser_flags_exist():
     args = parser.parse_args(["file.c", "--json", "--validate",
                               "--max-conflicts", "100"])
     assert args.json and args.validate and args.max_conflicts == 100
+    args = parser.parse_args(["file.c", "--repair", "--patch-out", "p.diff",
+                              "--seed", "3", "--diff"])
+    assert args.repair and args.patch_out == "p.diff"
+    assert args.seed == 3 and args.diff
+
+
+REORDERABLE = """
+int average(int total, int count) {
+    int mean = total / count;
+    if (count == 0) return 0;
+    return mean;
+}
+"""
+
+
+def test_repair_writes_patches(tmp_path, capsys):
+    out = tmp_path / "patches.diff"
+    code = main([write(tmp_path, "reorder.c", REORDERABLE), "--repair",
+                 "--patch-out", str(out)])
+    assert code == 1
+    assert "auto-repair:" in capsys.readouterr().out
+    text = out.read_text(encoding="utf-8")
+    assert "--- a/average.ll" in text
+    assert "+++ b/average.ll" in text
+    assert "reorder-guard" in text
+
+
+def test_repair_json_record(tmp_path, capsys):
+    code = main([write(tmp_path, "reorder.c", REORDERABLE), "--repair",
+                 "--json"])
+    record = json.loads(capsys.readouterr().out)
+    assert code == 1
+    assert record["repairs_attempted"] == record["repairs_succeeded"] > 0
+    for diagnostic in record["diagnostics"]:
+        assert diagnostic["repair"]["status"] == "repaired"
+
+
+def test_patch_out_stdout_and_no_patches(tmp_path, capsys):
+    code = main([write(tmp_path, "stable.c", STABLE), "--repair",
+                 "--patch-out", "-"])
+    out = capsys.readouterr().out
+    assert code == 0
+    assert "# no patches emitted" in out
+
+
+def test_seed_flag_reaches_config(tmp_path, capsys):
+    main([write(tmp_path, "stable.c", STABLE), "--seed", "42",
+          "--show-config"])
+    out = capsys.readouterr().out
+    assert "witness_seed = 42" in out
+
+
+def test_diff_runs_the_differential_campaign(tmp_path, capsys):
+    code = main([write(tmp_path, "stable.c", STABLE), "--diff", "--seed", "1"])
+    out = capsys.readouterr().out
+    assert code == 0
+    assert "Differential optimizer testing (seed 1" in out
+
+
+def test_diff_with_json_keeps_stdout_parseable(tmp_path, capsys):
+    main([write(tmp_path, "stable.c", STABLE), "--diff", "--json"])
+    captured = capsys.readouterr()
+    record = json.loads(captured.out)       # table must not corrupt stdout
+    assert record["type"] == "unit"
+    assert "Differential optimizer testing" in captured.err

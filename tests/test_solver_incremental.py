@@ -335,3 +335,8 @@ class TestFrameDiscipline:
             outer.close()
         inner.close()
         outer.close()
+        # The failed early close must not have retired the outer context:
+        # after the ordered closes its base assertion (v < 10) is gone, so
+        # v > 20 is satisfiable again on the shared solver.
+        with engine.context([mgr.bvugt(x, mgr.bv_const(20, WIDTH))]) as fresh:
+            assert fresh.is_unsat() is False

@@ -96,6 +96,79 @@ class TestSameOperandRewrites:
         assert solver.check() is CheckResult.UNSAT
 
 
+class TestShiftAndNegationIdentities:
+    @pytest.mark.parametrize("shift_name", ["shl", "lshr", "ashr"])
+    def test_shift_by_zero_folds_to_operand(self, mgr, shift_name):
+        builder = {"shl": mgr.bvshl, "lshr": mgr.bvlshr,
+                   "ashr": mgr.bvashr}[shift_name]
+        x = mgr.bv_var("x", 32)
+        zero = mgr.bv_const(0, 32)
+        assert simplify(mgr, builder(x, zero)) is x
+
+    @pytest.mark.parametrize("shift_name", ["shl", "lshr", "ashr"])
+    def test_shift_by_nonzero_survives(self, mgr, shift_name):
+        builder = {"shl": mgr.bvshl, "lshr": mgr.bvlshr,
+                   "ashr": mgr.bvashr}[shift_name]
+        x = mgr.bv_var("x", 32)
+        one = mgr.bv_const(1, 32)
+        shifted = simplify(mgr, builder(x, one))
+        assert not shifted.is_const()
+        assert shifted is not x
+
+    def test_shift_by_zero_fires_on_rebuilt_children(self, mgr):
+        # The zero only appears once y - y collapses during the walk.
+        x, y = mgr.bv_var("x", 16), mgr.bv_var("y", 16)
+        term = mgr.bvshl(x, mgr.bvsub(y, y))
+        assert simplify(mgr, term) is x
+
+    def test_double_bvneg_folds(self, mgr):
+        x = mgr.bv_var("x", 8)
+        assert simplify(mgr, mgr.bvneg(mgr.bvneg(x))) is x
+
+    def test_boolean_and_bitwise_double_negation_fold_at_construction(self, mgr):
+        # not(not b) and ~~x never reach the simplifier: the TermManager
+        # constructors collapse them, which this pins down.
+        b = mgr.bool_var("b")
+        assert mgr.not_(mgr.not_(b)) is b
+        x = mgr.bv_var("x", 8)
+        assert mgr.bvnot(mgr.bvnot(x)) is x
+
+    @pytest.mark.parametrize("shift_name", ["shl", "lshr", "ashr"])
+    def test_shift_identity_equivalence_by_evaluation(self, mgr, shift_name):
+        builder = {"shl": mgr.bvshl, "lshr": mgr.bvlshr,
+                   "ashr": mgr.bvashr}[shift_name]
+        x = mgr.bv_var("x", 8)
+        original = builder(x, mgr.bv_const(0, 8))
+        simplified = simplify(mgr, original)
+        for value in (0, 1, 0x7F, 0x80, 0xFF, 0x55):
+            assert mgr.evaluate(original, {"x": value}) == \
+                mgr.evaluate(simplified, {"x": value})
+
+    def test_double_neg_equivalence_by_solver(self, mgr):
+        # Verdict preservation, PR-3 style: the solver itself discharges
+        # original != simplified as unsatisfiable.
+        x = mgr.bv_var("x", 8)
+        original = mgr.bvneg(mgr.bvneg(x))
+        simplified = simplify(mgr, original)
+        solver = Solver(mgr, timeout=None, max_conflicts=100_000)
+        solver.add(mgr.distinct(original, simplified))
+        assert solver.check() is CheckResult.UNSAT
+
+    def test_shift_query_verdicts_unchanged(self, mgr):
+        x, y = mgr.bv_var("x", 16), mgr.bv_var("y", 16)
+        zero16 = mgr.bv_const(0, 16)
+
+        # UNSAT: (x << 0) != x can never hold.
+        unsat = Solver(mgr, timeout=None)
+        unsat.add(mgr.distinct(mgr.bvshl(x, zero16), x))
+        assert unsat.check() is CheckResult.UNSAT
+
+        # SAT: the rewrite must not touch a genuine shift.
+        sat = Solver(mgr, timeout=None)
+        sat.add(mgr.distinct(mgr.bvshl(x, y), x))
+        assert sat.check() is CheckResult.SAT
+
+
 class TestVerdictPreservation:
     def test_queries_with_rewritten_subterms_keep_their_verdicts(self, mgr):
         x, y = mgr.bv_var("x", 16), mgr.bv_var("y", 16)
