@@ -8,8 +8,9 @@ timing stability.
 ``--engine-workers`` selects how many worker processes the engine-backed
 benchmarks fan out over (default 2; pass 0 to force sequential runs).
 ``--bench-fast`` switches benchmarks that support it into a reduced-size
-smoke mode — fewer seeded inputs, fewer profiles — used by the CI benchmark
-smoke job to keep wall-clock low while still executing every code path.
+smoke mode — fewer seeded inputs, fewer profiles, smaller fuzzing budgets
+(``bench_fuzz.py``) — used by the CI benchmark/fuzz smoke jobs to keep
+wall-clock low while still executing every code path.
 """
 
 import pytest

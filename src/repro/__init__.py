@@ -23,6 +23,10 @@ This package re-implements the full system in Python:
   (``CheckerConfig(repair=True)``): template rewrites for unstable idioms,
   each patch proven by solver equivalence, a stability re-check under every
   compiler profile, and witness replay before it is reported,
+* :mod:`repro.fuzz` — the generative fuzzing subsystem (``python -m repro
+  fuzz``): seeded MiniC/IR program generation across the UB taxonomy,
+  checker-guided campaigns through the engine, and ddmin reduction of every
+  finding to a minimal reproducer,
 * :mod:`repro.experiments` — drivers that regenerate every table and figure.
 
 Quickstart::
@@ -61,6 +65,9 @@ __all__ = [
     "compile_source",
     "run_differential",
     "run_function",
+    "FuzzConfig",
+    "FuzzResult",
+    "run_fuzz_campaign",
     "__version__",
 ]
 
@@ -83,6 +90,9 @@ _LAZY_ATTRS = {
     "SolverQueryCache": ("repro.engine.cache", "SolverQueryCache"),
     "run_differential": ("repro.exec.diff", "run_differential"),
     "run_function": ("repro.exec.interp", "run_function"),
+    "FuzzConfig": ("repro.fuzz.campaign", "FuzzConfig"),
+    "FuzzResult": ("repro.fuzz.campaign", "FuzzResult"),
+    "run_fuzz_campaign": ("repro.fuzz.campaign", "run_fuzz_campaign"),
 }
 
 

@@ -11,8 +11,15 @@ for stdout).  ``--seed`` feeds the witness/repair replays and ``--diff``
 (the seeded differential optimizer run), so validation runs reproduce bit
 for bit.
 
-Exit status: 0 — no unstable code, 1 — warnings reported, 2 — the input
-could not be compiled or read.
+``python -m repro fuzz`` runs a generative fuzzing campaign instead of
+checking one file (docs/FUZZ.md): ``--budget`` generated programs from
+``--seed``, optionally ``--reduce``-d to minimal reproducers, with the
+deterministic JSONL stream written to ``--out``.
+
+Exit status (both modes): 0 — no unstable code, 1 — warnings/unstable
+findings reported (for ``fuzz``, any anomaly counts: diagnostics,
+miscompiles, failed units, expectation mismatches), 2 — the input could
+not be compiled or read (or the campaign configuration was invalid).
 """
 
 from __future__ import annotations
@@ -84,7 +91,82 @@ def _write_patches(report, path: str) -> None:
             handle.write(text)
 
 
+def build_fuzz_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro fuzz",
+        description="Run a generative fuzzing campaign through the checker "
+                    "pipeline (docs/FUZZ.md).")
+    parser.add_argument("--seed", type=int, default=0, metavar="N",
+                        help="campaign seed: determines every generated "
+                             "program, witness replay, and differential run "
+                             "(default: 0)")
+    parser.add_argument("--budget", type=int, default=100, metavar="N",
+                        help="number of programs to generate and check "
+                             "(default: 100)")
+    parser.add_argument("--reduce", action="store_true",
+                        help="delta-debug every unstable finding to a "
+                             "minimal reproducer")
+    parser.add_argument("--out", metavar="PATH", default=None,
+                        help="write the deterministic JSONL campaign stream "
+                             "to PATH")
+    parser.add_argument("--workers", type=int, default=0, metavar="N",
+                        help="engine worker processes (default: sequential; "
+                             "results are identical either way)")
+    parser.add_argument("--no-diff", action="store_true",
+                        help="skip the per-program differential optimizer "
+                             "run")
+    parser.add_argument("--no-validate", action="store_true",
+                        help="skip the stage-5 witness replay for "
+                             "diagnostics")
+    return parser
+
+
+def fuzz_main(argv: Optional[List[str]] = None) -> int:
+    args = build_fuzz_parser().parse_args(argv)
+    from repro.fuzz import FuzzConfig, run_fuzz_campaign
+
+    try:
+        result = run_fuzz_campaign(FuzzConfig(
+            seed=args.seed, budget=args.budget, reduce=args.reduce,
+            out=args.out, workers=args.workers,
+            differential=not args.no_diff,
+            validate_witnesses=not args.no_validate))
+    except (ValueError, OSError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    stats = result.stats
+    print(f"fuzz campaign: seed {stats.seed}, {stats.programs} programs "
+          f"({stats.minic_programs} MiniC, {stats.ir_programs} IR), "
+          f"{stats.throughput:.1f} programs/s")
+    print(f"  flagged {stats.flagged_programs} programs "
+          f"({stats.diagnostics} diagnostics, "
+          f"{stats.expectation_mismatches} expectation mismatches, "
+          f"{stats.failed_units} failed units)")
+    print(f"  witnesses: {stats.witnesses_confirmed} confirmed, "
+          f"{stats.witnesses_unconfirmed} unconfirmed, "
+          f"{stats.witnesses_inconclusive} inconclusive")
+    if stats.diff_executions:
+        print(f"  differential: {stats.diff_executions} executions, "
+              f"{stats.diff_ub_justified} UB-justified divergences, "
+              f"{stats.miscompiles} miscompiles")
+    if args.reduce:
+        print(f"  reduced: {stats.reduced_cases} minimal reproducers "
+              f"({stats.reduction_checker_runs} checker re-runs)")
+    if args.out:
+        print(f"  JSONL stream: {args.out}")
+    # Anomalies are findings too — a miscompile, a crashed unit, or a
+    # verdict that contradicts the generator's expectation must not let
+    # the campaign exit as if nothing were wrong.
+    anomalies = (stats.diagnostics + stats.miscompiles + stats.failed_units
+                 + stats.expectation_mismatches)
+    return 1 if anomalies else 0
+
+
 def main(argv: Optional[List[str]] = None) -> int:
+    if argv is None:
+        argv = sys.argv[1:]
+    if argv and argv[0] == "fuzz":
+        return fuzz_main(argv[1:])
     args = build_parser().parse_args(argv)
 
     if args.source == "-":

@@ -40,6 +40,11 @@ Pass ``CheckerConfig(repair=True)`` to also run the stage-6 auto-repair:
 three-gate verifier (solver equivalence on UB-free inputs, stability
 re-check under every compiler profile, witness replay) as a unified IR
 diff, or the per-gate reasons no candidate did (docs/REPAIR.md).
+
+To exercise the whole pipeline on programs nobody wrote by hand, the
+generative fuzzing subsystem fans seeded MiniC/IR programs through these
+same entry points (:func:`repro.fuzz.run_fuzz_campaign`, ``python -m repro
+fuzz``, docs/FUZZ.md).
 """
 
 from __future__ import annotations

@@ -16,9 +16,11 @@ package provides the synthetic equivalents described in DESIGN.md:
 """
 
 from repro.corpus.snippets import (
+    FUZZ_SNIPPETS,
     SNIPPETS,
     STABLE_SNIPPETS,
     Snippet,
+    register_snippet,
     snippet_by_name,
     snippets_for_kind,
 )
@@ -30,6 +32,8 @@ __all__ = [
     "COMPLETENESS_TESTS",
     "CompletenessTest",
     "DebianArchiveModel",
+    "FUZZ_SNIPPETS",
+    "register_snippet",
     "SNIPPETS",
     "STABLE_SNIPPETS",
     "SYSTEMS",

@@ -96,6 +96,23 @@ class RunStats:
     repair_gate_replay_rejects: int = 0
     repair_time: float = 0.0
 
+    def merge(self, other: "RunStats") -> None:
+        """Accumulate another run's counters into this one.
+
+        Numeric fields add up; ``workers`` keeps the maximum fan-out seen.
+        Batched drivers (the fuzz campaign checks its corpus one generated
+        batch at a time) use this to report campaign-wide totals.
+        """
+        import dataclasses
+
+        for stats_field in dataclasses.fields(self):
+            if stats_field.name == "workers":
+                self.workers = max(self.workers, other.workers)
+                continue
+            setattr(self, stats_field.name,
+                    getattr(self, stats_field.name) +
+                    getattr(other, stats_field.name))
+
     def as_dict(self) -> Dict[str, object]:
         return {
             "units": self.units, "failed_units": self.failed_units,
@@ -239,7 +256,8 @@ class CheckEngine:
             if sink is not None:
                 sink.write_unit(result.name, result.report,
                                 attempts=result.attempts,
-                                escalated=result.escalated, error=result.error)
+                                escalated=result.escalated, error=result.error,
+                                meta=result.meta)
         return results
 
     def _run_parallel(self, work: List[WorkUnit],
@@ -265,7 +283,7 @@ class CheckEngine:
                     sink.write_unit(result.name, result.report,
                                     attempts=result.attempts,
                                     escalated=result.escalated,
-                                    error=result.error)
+                                    error=result.error, meta=result.meta)
         return [result for result in ordered if result is not None]
 
     # -- helpers --------------------------------------------------------------------

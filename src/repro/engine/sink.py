@@ -40,13 +40,15 @@ def diagnostic_to_dict(diagnostic: Diagnostic) -> Dict[str, object]:
 
 def report_to_dict(name: str, report: BugReport, attempts: int = 1,
                    escalated: bool = False,
-                   error: Optional[str] = None) -> Dict[str, object]:
+                   error: Optional[str] = None,
+                   meta: Optional[Dict[str, object]] = None) -> Dict[str, object]:
     """Flatten one unit's bug report into the JSONL ``unit`` record."""
     return {
         "type": "unit",
         "unit": name,
         "module": report.module,
         "error": error,
+        "meta": dict(meta) if meta else {},
         "attempts": attempts,
         "escalated": escalated,
         "functions": [
@@ -117,19 +119,29 @@ class JsonlResultSink:
         self.lines_written = 0
 
     def write_unit(self, name: str, report: BugReport, attempts: int = 1,
-                   escalated: bool = False, error: Optional[str] = None) -> None:
+                   escalated: bool = False, error: Optional[str] = None,
+                   meta: Optional[Dict[str, object]] = None) -> None:
         self._write(report_to_dict(name, report, attempts=attempts,
-                                   escalated=escalated, error=error))
+                                   escalated=escalated, error=error, meta=meta))
 
     def write_summary(self, stats: Dict[str, object]) -> None:
         record = {"type": "run"}
         record.update(stats)
         self._write(record)
 
-    def _write(self, record: Dict[str, object]) -> None:
+    def write_record(self, record: Dict[str, object]) -> None:
+        """Append an arbitrary record with a stable (sorted-key) encoding.
+
+        Byte-for-byte reproducibility matters to callers like the fuzz
+        campaign, whose regression tests diff whole files across runs; the
+        ``unit``/``run`` records keep their historical insertion order.
+        """
+        self._write(record, sort_keys=True)
+
+    def _write(self, record: Dict[str, object], sort_keys: bool = False) -> None:
         if self._handle is None:
             raise RuntimeError("result sink is closed")
-        self._handle.write(json.dumps(record) + "\n")
+        self._handle.write(json.dumps(record, sort_keys=sort_keys) + "\n")
         self._handle.flush()
         self.lines_written += 1
 

@@ -38,6 +38,10 @@ class WorkUnit:
     source: Optional[str] = None         # MiniC source, compiled in the worker
     module: Optional[Module] = None      # or an already-lowered IR module
     filename: str = ""
+    #: Caller-owned, picklable annotations (e.g. the fuzz campaign's
+    #: scenario/seed tags); carried verbatim onto the UnitResult and into
+    #: the JSONL unit record.
+    meta: dict = field(default_factory=dict)
 
     def __post_init__(self) -> None:
         if (self.source is None) == (self.module is None):
@@ -56,6 +60,7 @@ class UnitResult:
     escalated: bool = False              # any retry was needed
     error: Optional[str] = None          # compile/verify failure, if any
     cache_entries: List[dict] = field(default_factory=list)
+    meta: dict = field(default_factory=dict)   # the work unit's annotations
 
     @property
     def ok(self) -> bool:
@@ -93,7 +98,8 @@ def check_work_unit(unit: WorkUnit, config: CheckerConfig,
             module = compile_source(unit.source, filename=unit.filename)
         except Exception as exc:                       # frontend rejection
             return UnitResult(name=unit.name, report=BugReport(module=unit.name),
-                              error=f"{type(exc).__name__}: {exc}")
+                              error=f"{type(exc).__name__}: {exc}",
+                              meta=dict(unit.meta))
     else:
         module = unit.module
 
@@ -124,4 +130,5 @@ def check_work_unit(unit: WorkUnit, config: CheckerConfig,
     # sequential mode the engine owns the cache and flushes it directly.
     entries = cache.drain_new_entries() if cache is not None and drain_cache else []
     return UnitResult(name=unit.name, report=report, attempts=attempts,
-                      escalated=escalated, cache_entries=entries)
+                      escalated=escalated, cache_entries=entries,
+                      meta=dict(unit.meta))

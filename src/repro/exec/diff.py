@@ -22,6 +22,7 @@ results, un-backed memory), so a failure reproduces exactly.
 from __future__ import annotations
 
 import enum
+import random
 from dataclasses import dataclass, field
 from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 
@@ -145,7 +146,8 @@ def run_differential(units: Iterable[Tuple[str, Module]],
                      profiles: Optional[Sequence[CompilerProfile]] = None,
                      level: int = 2, inputs_per_function: int = 8,
                      seed: int = 0, fuel: int = 20_000,
-                     keep_agreements: bool = False) -> DiffReport:
+                     keep_agreements: bool = False,
+                     rng: Optional[random.Random] = None) -> DiffReport:
     """Differentially execute ``units`` against each profile's pipeline.
 
     ``units`` yields ``(name, module)`` pairs of already-lowered IR.  Every
@@ -153,7 +155,15 @@ def run_differential(units: Iterable[Tuple[str, Module]],
     vectors; for each profile the same inputs replay through a clone
     optimized at ``-O{level}``.  See the module docstring for the
     classification rules.
+
+    Callers that thread one :class:`random.Random` through a whole pipeline
+    (the fuzz campaign: generation, witness replay, and this runner all draw
+    from a single instance) pass ``rng`` instead of ``seed``; the campaign
+    seed then determines this run's seed too, in sequence with everything
+    the caller drew before it.
     """
+    if rng is not None:
+        seed = rng.getrandbits(32)
     if profiles is None:
         profiles = ALL_PROFILES
     report = DiffReport(seed=seed, level=level)

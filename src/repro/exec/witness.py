@@ -31,6 +31,7 @@ is surfaced in the report's reason.  Budget exhaustion (no model, fuel) is
 from __future__ import annotations
 
 import enum
+import random
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Tuple
 
@@ -228,14 +229,19 @@ def validate_diagnostics(function: Function, encoder: FunctionEncoder,
                          fuel: int = 50_000,
                          timeout: Optional[float] = 5.0,
                          max_conflicts: Optional[int] = 50_000,
-                         seed: int = 0) -> Dict[str, int]:
+                         seed: int = 0,
+                         rng: Optional[random.Random] = None) -> Dict[str, int]:
     """Stage-5 entry point used by the checker.
 
     Replays every ``(diagnostic, hypothesis, conditions)`` triple, attaches
     the :class:`WitnessReport` to the diagnostic, and returns verdict counts.
     ``seed`` feeds the replay's :class:`ExternalEnv` so CLI and library runs
-    reproduce bit for bit.
+    reproduce bit for bit.  Callers threading one :class:`random.Random`
+    end to end (the fuzz campaign) pass ``rng`` instead, and the replay
+    seed is drawn from it in sequence with the caller's other draws.
     """
+    if rng is not None:
+        seed = rng.getrandbits(32)
     counts = {verdict.value: 0 for verdict in WitnessVerdict}
     for diagnostic, hypothesis, conditions in findings:
         witness = replay_diagnostic(function, encoder, diagnostic,

@@ -100,9 +100,43 @@ def _rewrite(mgr: TermManager, t: Term) -> Term:
             and t.args[1].value == 0:
         # x << 0 -> x and x >> 0 -> x (logical and arithmetic alike).
         return t.args[0]
+    if op in (Op.BVSHL, Op.BVLSHR) and t.args[1].is_const() \
+            and t.args[0].op is op and t.args[0].args[1].is_const():
+        # Shift chains with constant amounts fold into one shift:
+        # (x << c1) << c2 -> x << (c1 + c2), and likewise for lshr.  The
+        # amounts add without wrapping; a total >= width zeroes the value
+        # outright (both directions shift in zeros).  Fuzzed shift-guard
+        # programs produce these chains constantly — see docs/FUZZ.md.
+        width = t.sort.width
+        total = t.args[0].args[1].value + t.args[1].value
+        if total >= width:
+            return mgr.bv_const(0, width)
+        builder = mgr.bvshl if op is Op.BVSHL else mgr.bvlshr
+        return builder(t.args[0].args[0], mgr.bv_const(total, width))
     if op is Op.BVNEG and t.args[0].op is Op.BVNEG:
         # -(-x) -> x; the NOT/BVNOT double negations fold at construction.
         return t.args[0].args[0]
+
+    if op is Op.EXTRACT:
+        hi, lo = t.attrs
+        inner = t.args[0]
+        if inner.op is Op.CONCAT:
+            # extract of a concat that stays within one half forwards to
+            # that half (encoder-produced truncations of widening chains).
+            concat_hi, concat_lo = inner.args
+            if hi < concat_lo.width:
+                return mgr.extract(concat_lo, hi, lo)
+            if lo >= concat_lo.width:
+                return mgr.extract(concat_hi, hi - concat_lo.width,
+                                   lo - concat_lo.width)
+        if inner.op in (Op.ZEXT, Op.SEXT):
+            base = inner.args[0]
+            if hi < base.width:
+                # The extracted bits never reach the extension.
+                return mgr.extract(base, hi, lo)
+            if inner.op is Op.ZEXT and lo >= base.width:
+                # Purely extension bits of a zext are zero.
+                return mgr.bv_const(0, hi - lo + 1)
 
     if op in (Op.BVAND, Op.BVOR, Op.BVXOR):
         width = t.sort.width

@@ -172,3 +172,79 @@ def test_diff_with_json_keeps_stdout_parseable(tmp_path, capsys):
     record = json.loads(captured.out)       # table must not corrupt stdout
     assert record["type"] == "unit"
     assert "Differential optimizer testing" in captured.err
+
+
+# -- the fuzz subcommand ------------------------------------------------------------
+
+
+def test_fuzz_findings_exit_1(tmp_path, capsys):
+    out = tmp_path / "campaign.jsonl"
+    code = main(["fuzz", "--budget", "6", "--seed", "1", "--reduce",
+                 "--out", str(out)])
+    printed = capsys.readouterr().out
+    assert code == 1                       # seed 1's first programs do flag
+    assert "fuzz campaign: seed 1, 6 programs" in printed
+    assert "reduced:" in printed
+    lines = out.read_text(encoding="utf-8").splitlines()
+    assert len(lines) == 7                 # 6 programs + 1 summary
+    summary = json.loads(lines[-1])
+    assert summary["type"] == "fuzz-run"
+    assert summary["diff"]["miscompile"] == 0
+
+
+def test_fuzz_clean_campaign_exits_0(capsys):
+    # Seed 11's first two programs are stable-by-construction variants, so
+    # the campaign reports nothing — the no-findings exit path.
+    code = main(["fuzz", "--budget", "2", "--seed", "11", "--no-diff",
+                 "--no-validate"])
+    printed = capsys.readouterr().out
+    assert code == 0
+    assert "flagged 0 programs" in printed
+
+
+def test_fuzz_anomalies_exit_1_even_without_diagnostics(monkeypatch, capsys):
+    # A miscompile (or crashed unit / expectation mismatch) must flip the
+    # exit code even when no checker diagnostic was reported.
+    from repro.fuzz import FuzzResult, FuzzStats
+
+    def fake_campaign(config):
+        return FuzzResult(stats=FuzzStats(seed=config.seed, programs=2,
+                                          miscompiles=1))
+
+    monkeypatch.setattr("repro.fuzz.run_fuzz_campaign", fake_campaign)
+    code = main(["fuzz", "--budget", "2", "--seed", "11"])
+    capsys.readouterr()
+    assert code == 1
+
+
+def test_fuzz_invalid_budget_exits_2(capsys):
+    code = main(["fuzz", "--budget", "0"])
+    assert code == 2
+    assert "error" in capsys.readouterr().err
+
+
+def test_fuzz_unwritable_out_exits_2(tmp_path, capsys):
+    # Pointing --out at a directory fails the stream open with an OSError.
+    code = main(["fuzz", "--budget", "2", "--out", str(tmp_path)])
+    assert code == 2
+    assert "error" in capsys.readouterr().err
+
+
+def test_fuzz_parser_flags_exist():
+    from repro.__main__ import build_fuzz_parser
+
+    args = build_fuzz_parser().parse_args(
+        ["--seed", "7", "--budget", "42", "--reduce", "--out", "x.jsonl",
+         "--workers", "2", "--no-diff", "--no-validate"])
+    assert args.seed == 7 and args.budget == 42 and args.reduce
+    assert args.out == "x.jsonl" and args.workers == 2
+    assert args.no_diff and args.no_validate
+
+
+def test_fuzz_deterministic_stream(tmp_path):
+    first = tmp_path / "a.jsonl"
+    second = tmp_path / "b.jsonl"
+    assert main(["fuzz", "--budget", "5", "--seed", "3",
+                 "--out", str(first)]) == \
+        main(["fuzz", "--budget", "5", "--seed", "3", "--out", str(second)])
+    assert first.read_bytes() == second.read_bytes()

@@ -347,3 +347,74 @@ def test_checker_config_encoder_options_not_shared():
     first = CheckerConfig()
     second = CheckerConfig()
     assert first.encoder_options is not second.encoder_options
+
+
+# -- WorkUnit metadata and RunStats.merge ---------------------------------------------
+
+
+def test_unit_meta_travels_to_results_and_sink(tmp_path):
+    path = tmp_path / "results.jsonl"
+    units = [
+        WorkUnit(name="tagged", source="int f(int x) { return x; }",
+                 meta={"scenario": "demo", "expected_unstable": False}),
+        WorkUnit(name="plain", source="int g(int x) { return x; }"),
+    ]
+    engine = CheckEngine(EngineConfig(workers=0, results_path=str(path)))
+    result = engine.check_corpus(units)
+    assert result.results[0].meta == {"scenario": "demo",
+                                      "expected_unstable": False}
+    assert result.results[1].meta == {}
+    records = [json.loads(line) for line
+               in path.read_text(encoding="utf-8").splitlines()]
+    assert records[0]["meta"]["scenario"] == "demo"
+    assert records[1]["meta"] == {}
+
+
+def test_unit_meta_survives_worker_processes():
+    units = [WorkUnit(name=f"u{i}", source=f"int f{i}(int x) {{ return x; }}",
+                      meta={"index": i}) for i in range(4)]
+    engine = CheckEngine(EngineConfig(workers=2))
+    result = engine.check_corpus(units)
+    assert [r.meta["index"] for r in result.results] == [0, 1, 2, 3]
+
+
+def test_unit_meta_survives_compile_failure():
+    result = check_work_unit(WorkUnit(name="broken", source="int f( {",
+                                      meta={"scenario": "x"}),
+                             CheckerConfig())
+    assert result.error is not None
+    assert result.meta == {"scenario": "x"}
+
+
+def test_run_stats_merge_accumulates_counters():
+    from repro.engine.engine import RunStats
+
+    first = RunStats(units=3, functions=5, diagnostics=2, queries=10,
+                     cache_hits=4, workers=2, wall_clock=1.5, solver_time=0.5)
+    second = RunStats(units=2, functions=1, diagnostics=1, queries=6,
+                      cache_hits=1, workers=4, wall_clock=0.5,
+                      solver_time=0.25)
+    first.merge(second)
+    assert first.units == 5
+    assert first.functions == 6
+    assert first.diagnostics == 3
+    assert first.queries == 16
+    assert first.cache_hits == 5
+    assert first.workers == 4                   # max, not sum
+    assert first.wall_clock == 2.0
+    assert first.solver_time == 0.75
+
+
+def test_run_stats_merge_matches_single_run():
+    from repro.engine.engine import RunStats
+
+    units = corpus_units("merge")
+    whole = CheckEngine(EngineConfig(workers=0, cache_enabled=False)) \
+        .check_corpus(units)
+    merged = RunStats()
+    engine = CheckEngine(EngineConfig(workers=0, cache_enabled=False))
+    for half in (units[:len(units) // 2], units[len(units) // 2:]):
+        merged.merge(engine.check_corpus(half).stats)
+    assert merged.units == whole.stats.units
+    assert merged.diagnostics == whole.stats.diagnostics
+    assert merged.queries == whole.stats.queries

@@ -1,0 +1,338 @@
+"""Tests for the generative fuzzing subsystem (repro.fuzz)."""
+
+import json
+import random
+
+import pytest
+
+from repro.api import check_source, compile_source
+from repro.core.ubconditions import UBKind
+from repro.corpus.snippets import FUZZ_SNIPPETS, register_snippet, \
+    snippet_by_name
+from repro.fuzz import (
+    ALL_SCENARIOS,
+    FuzzConfig,
+    ProgramGenerator,
+    build_ir_module,
+    case_to_snippet,
+    ddmin,
+    reduce_module,
+    reduce_source,
+    run_fuzz_campaign,
+)
+from repro.ir.verifier import verify_module
+
+
+# ---------------------------------------------------------------------------
+# Generator
+# ---------------------------------------------------------------------------
+
+
+class TestGenerator:
+    def test_same_seed_same_programs(self):
+        first = ProgramGenerator(random.Random(7))
+        second = ProgramGenerator(random.Random(7))
+        for index in range(40):
+            a = first.generate(index)
+            b = second.generate(index)
+            assert (a.scenario, a.mode, a.source, a.ir_spec) == \
+                (b.scenario, b.mode, b.source, b.ir_spec)
+
+    def test_different_seeds_differ(self):
+        a = [ProgramGenerator(random.Random(1)).generate(i) for i in range(20)]
+        b = [ProgramGenerator(random.Random(2)).generate(i) for i in range(20)]
+        assert [(p.scenario, p.source) for p in a] != \
+            [(p.scenario, p.source) for p in b]
+
+    @pytest.mark.parametrize("scenario", ALL_SCENARIOS)
+    def test_every_scenario_produces_checkable_programs(self, scenario):
+        generator = ProgramGenerator(random.Random(3), [scenario])
+        for index in range(4):
+            program = generator.generate(index, scenario)
+            assert program.scenario == scenario
+            assert program.tag == f"s{index}"
+            if program.mode == "minic":
+                assert program.tag in program.source
+                assert "{S}" in program.template
+                module = compile_source(program.source)
+            else:
+                module = program.build_module()
+            assert not verify_module(module, raise_on_error=False)
+
+    def test_ir_modules_rebuild_identically(self):
+        generator = ProgramGenerator(random.Random(5), ["ir_overflow_chain"])
+        program = generator.generate(0, "ir_overflow_chain")
+        from repro.ir.printer import print_module
+
+        assert print_module(program.build_module()) == \
+            print_module(program.build_module())
+
+    def test_build_ir_module_rejects_unknown_scenario(self):
+        with pytest.raises(ValueError):
+            build_ir_module({"scenario": "nope"})
+
+    def test_unknown_scenario_rejected(self):
+        with pytest.raises(ValueError):
+            ProgramGenerator(random.Random(0), ["no_such_scenario"])
+
+
+# ---------------------------------------------------------------------------
+# ddmin and the reducer
+# ---------------------------------------------------------------------------
+
+
+class TestDdmin:
+    def test_finds_single_element(self):
+        result = ddmin(list(range(64)), lambda kept: 17 in kept)
+        assert result == [17]
+
+    def test_keeps_required_pair(self):
+        result = ddmin(list(range(32)),
+                       lambda kept: 3 in kept and 29 in kept)
+        assert result == [3, 29]
+
+    def test_preserves_order(self):
+        result = ddmin(list(range(16)),
+                       lambda kept: {2, 5, 11} <= set(kept))
+        assert result == [2, 5, 11]
+
+    def test_singleton_input(self):
+        assert ddmin([4], lambda kept: True) == [4]
+
+
+UNSTABLE_SOURCE = """
+int scratch_0(int a) {
+    int unused = a * 2;
+    int also_unused = unused + 3;
+    return unused;
+}
+int guard_s9(char *buf, char *end, unsigned int len) {
+    int x = 5;
+    x = x + 1;
+    if (buf + len >= end)
+        return -1;
+    if (buf + len < buf)
+        return -1;
+    return x;
+}
+"""
+
+
+class TestReduceSource:
+    def test_reduces_and_preserves_verdict(self):
+        case = reduce_source(UNSTABLE_SOURCE)
+        assert case is not None
+        assert case.mode == "minic"
+        assert UBKind.POINTER_OVERFLOW in case.kinds
+        assert case.elements_after < case.elements_before
+        # The unrelated helper function must be gone entirely.
+        assert "scratch_0" not in case.source
+        assert "buf + len < buf" in case.source
+        report = check_source(case.source)
+        assert any(UBKind.POINTER_OVERFLOW in bug.ub_kinds
+                   for bug in report.bugs)
+
+    def test_idempotent(self):
+        case = reduce_source(UNSTABLE_SOURCE)
+        again = reduce_source(case.source)
+        assert again is not None
+        assert again.source == case.source
+        assert again.removed == 0
+
+    def test_every_accepted_intermediate_parses_and_verifies(self):
+        case = reduce_source(UNSTABLE_SOURCE)
+        assert case.trajectory
+        for candidate in case.trajectory:
+            module = compile_source(candidate)
+            assert not verify_module(module, raise_on_error=False)
+
+    def test_stable_source_returns_none(self):
+        assert reduce_source("""
+            int fine_s0(int a, int b) {
+                if (b == 0) return 0;
+                return a / b;
+            }
+        """) is None
+
+    def test_kind_filter_must_match(self):
+        assert reduce_source(UNSTABLE_SOURCE,
+                             kinds=[UBKind.DIV_BY_ZERO]) is None
+
+    def test_uncompilable_source_returns_none(self):
+        assert reduce_source("int broken_s0( {") is None
+
+
+class TestReduceModule:
+    def _build(self):
+        spec = {"scenario": "ir_overflow_chain", "width": 32,
+                "consts": [7, 100], "guard_first": False, "tag": "s0"}
+        return build_ir_module(spec)
+
+    def test_reduces_ir_and_preserves_verdict(self):
+        case = reduce_module(self._build)
+        assert case is not None
+        assert case.mode == "ir"
+        assert UBKind.SIGNED_OVERFLOW in case.kinds
+        assert case.elements_after <= case.elements_before
+
+    def test_intermediates_verify(self):
+        case = reduce_module(self._build)
+        # Trajectory entries were printed from verifier-clean candidates by
+        # construction; pin the invariant via the recorded count instead.
+        assert case.checker_runs >= 1
+
+    def test_stable_module_returns_none(self):
+        spec = {"scenario": "ir_overflow_chain", "width": 32,
+                "consts": [7], "guard_first": True, "tag": "s0"}
+        assert reduce_module(lambda: build_ir_module(spec)) is None
+
+
+class TestSnippetRegistration:
+    def test_case_round_trips_into_the_corpus(self):
+        case = reduce_source(UNSTABLE_SOURCE)
+        snippet = case_to_snippet(case, scenario="pointer_guard_order",
+                                  tag="s9", name="fuzz_test_reg_0")
+        assert "{S}" in snippet.source_template
+        assert snippet.is_unstable
+        rendered = snippet.render("42")
+        report = check_source(rendered)
+        assert any(UBKind.POINTER_OVERFLOW in bug.ub_kinds
+                   for bug in report.bugs)
+
+        registered = register_snippet(snippet)
+        try:
+            assert snippet_by_name("fuzz_test_reg_0") is registered
+            # Idempotent per name.
+            assert register_snippet(snippet) is registered
+        finally:
+            FUZZ_SNIPPETS.remove(registered)
+            from repro.corpus import snippets as snippets_module
+
+            del snippets_module._ALL_BY_NAME["fuzz_test_reg_0"]
+
+    def test_name_reuse_with_different_content_rejected(self):
+        case = reduce_source(UNSTABLE_SOURCE)
+        first = case_to_snippet(case, scenario="pointer_guard_order",
+                                tag="s9", name="fuzz_test_conflict_0")
+        registered = register_snippet(first)
+        try:
+            import dataclasses
+
+            other = dataclasses.replace(
+                first, source_template=first.source_template + "\n")
+            with pytest.raises(ValueError):
+                register_snippet(other)
+        finally:
+            FUZZ_SNIPPETS.remove(registered)
+            from repro.corpus import snippets as snippets_module
+
+            del snippets_module._ALL_BY_NAME["fuzz_test_conflict_0"]
+
+    def test_hand_written_names_are_protected(self):
+        case = reduce_source(UNSTABLE_SOURCE)
+        snippet = case_to_snippet(case, scenario="x", tag="s9",
+                                  name="fig1_pointer_overflow_check")
+        with pytest.raises(ValueError):
+            register_snippet(snippet)
+
+    def test_ir_cases_cannot_join_the_corpus(self):
+        spec = {"scenario": "ir_overflow_chain", "width": 32,
+                "consts": [7], "guard_first": False, "tag": "s0"}
+        case = reduce_module(lambda: build_ir_module(spec))
+        with pytest.raises(ValueError):
+            case_to_snippet(case, scenario="ir", tag="s0", name="nope")
+
+
+# ---------------------------------------------------------------------------
+# Campaign
+# ---------------------------------------------------------------------------
+
+
+class TestCampaign:
+    def test_same_seed_byte_identical_jsonl(self, tmp_path):
+        """Satellite regression test: one rng end to end, stable output."""
+        paths = [tmp_path / "a.jsonl", tmp_path / "b.jsonl"]
+        for path in paths:
+            run_fuzz_campaign(FuzzConfig(seed=21, budget=8, reduce=True,
+                                         out=str(path)))
+        assert paths[0].read_bytes() == paths[1].read_bytes()
+
+    def test_campaign_counters_and_records(self):
+        result = run_fuzz_campaign(FuzzConfig(seed=4, budget=12, reduce=True))
+        stats = result.stats
+        assert stats.programs == 12
+        assert len(result.records) == 12
+        assert stats.failed_units == 0
+        assert stats.expectation_mismatches == 0
+        assert stats.miscompiles == 0
+        assert stats.minic_programs + stats.ir_programs == 12
+        assert stats.engine.units == 12
+        for record in result.records:
+            assert record["type"] == "fuzz-program"
+            assert record["scenario"] in ALL_SCENARIOS
+            if record["flagged"]:
+                assert record["reduced"] is not None
+                assert record["diagnostics"]
+
+    def test_flagged_records_reference_reduced_shapes(self):
+        result = run_fuzz_campaign(FuzzConfig(seed=4, budget=12, reduce=True))
+        assert result.reduced
+        for case in result.reduced.values():
+            assert case.elements_after <= case.elements_before
+
+    def test_register_snippets_lands_in_corpus(self):
+        result = run_fuzz_campaign(FuzzConfig(seed=4, budget=12, reduce=True,
+                                              register_snippets=True))
+        assert result.snippets
+        try:
+            for snippet in result.snippets:
+                assert snippet_by_name(snippet.name) is snippet
+                assert snippet in FUZZ_SNIPPETS
+        finally:
+            from repro.corpus import snippets as snippets_module
+
+            for snippet in result.snippets:
+                FUZZ_SNIPPETS.remove(snippet)
+                del snippets_module._ALL_BY_NAME[snippet.name]
+
+    def test_scenario_filter(self):
+        result = run_fuzz_campaign(FuzzConfig(
+            seed=1, budget=6, scenarios=("division_order",),
+            differential=False))
+        assert set(result.stats.by_scenario) == {"division_order"}
+
+    def test_summary_line_closes_the_stream(self, tmp_path):
+        path = tmp_path / "out.jsonl"
+        result = run_fuzz_campaign(FuzzConfig(seed=2, budget=5,
+                                              out=str(path)))
+        lines = path.read_text(encoding="utf-8").splitlines()
+        assert len(lines) == 6
+        summary = json.loads(lines[-1])
+        assert summary["type"] == "fuzz-run"
+        assert summary["programs"] == 5
+        assert summary == dict(summary, **result.stats.as_dict(),
+                               type="fuzz-run")
+
+    def test_invalid_budget_rejected(self):
+        with pytest.raises(ValueError):
+            run_fuzz_campaign(FuzzConfig(budget=0))
+        with pytest.raises(ValueError):
+            run_fuzz_campaign(FuzzConfig(budget=4, batch_size=0))
+
+    def test_workers_reproduce_sequential_results(self, tmp_path):
+        sequential = tmp_path / "seq.jsonl"
+        parallel = tmp_path / "par.jsonl"
+        run_fuzz_campaign(FuzzConfig(seed=9, budget=8, out=str(sequential)))
+        run_fuzz_campaign(FuzzConfig(seed=9, budget=8, workers=2,
+                                     out=str(parallel)))
+        assert sequential.read_bytes() == parallel.read_bytes()
+
+    def test_meta_travels_through_the_engine(self):
+        result = run_fuzz_campaign(FuzzConfig(seed=3, budget=4,
+                                              differential=False,
+                                              validate_witnesses=False))
+        # The campaign tags every work unit; scenario tallies prove the
+        # engine carried them through (they are derived from the programs,
+        # which in turn drove the unit meta).
+        assert sum(row["programs"] for row
+                   in result.stats.by_scenario.values()) == 4

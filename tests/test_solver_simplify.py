@@ -169,6 +169,157 @@ class TestShiftAndNegationIdentities:
         assert sat.check() is CheckResult.SAT
 
 
+class TestShiftChainFolds:
+    """PR-5 identities: constant shift chains collapse into one shift."""
+
+    @pytest.mark.parametrize("shift_name", ["shl", "lshr"])
+    def test_chain_folds_to_single_shift(self, mgr, shift_name):
+        builder = {"shl": mgr.bvshl, "lshr": mgr.bvlshr}[shift_name]
+        x = mgr.bv_var("x", 32)
+        chained = builder(builder(x, mgr.bv_const(3, 32)), mgr.bv_const(4, 32))
+        simplified = simplify(mgr, chained)
+        assert simplified.op is chained.op
+        assert simplified.args[0] is x
+        assert simplified.args[1].is_const() and simplified.args[1].value == 7
+
+    @pytest.mark.parametrize("shift_name", ["shl", "lshr"])
+    def test_oversized_chain_folds_to_zero(self, mgr, shift_name):
+        builder = {"shl": mgr.bvshl, "lshr": mgr.bvlshr}[shift_name]
+        x = mgr.bv_var("x", 8)
+        chained = builder(builder(x, mgr.bv_const(5, 8)), mgr.bv_const(4, 8))
+        simplified = simplify(mgr, chained)
+        assert simplified.is_const() and simplified.value == 0
+
+    def test_ashr_chain_is_left_alone(self, mgr):
+        # Arithmetic right shifts clamp at width-1; the additive fold does
+        # not apply and the simplifier must not pretend it does.
+        x = mgr.bv_var("x", 8)
+        chained = mgr.bvashr(mgr.bvashr(x, mgr.bv_const(5, 8)),
+                             mgr.bv_const(4, 8))
+        simplified = simplify(mgr, chained)
+        assert simplified.op is Op.BVASHR
+
+    def test_variable_amount_chain_is_left_alone(self, mgr):
+        x, y = mgr.bv_var("x", 32), mgr.bv_var("y", 32)
+        chained = mgr.bvshl(mgr.bvshl(x, y), mgr.bv_const(1, 32))
+        assert simplify(mgr, chained) is chained
+
+    @pytest.mark.parametrize("shift_name", ["shl", "lshr"])
+    @pytest.mark.parametrize("c1,c2", [(1, 2), (3, 4), (5, 4), (7, 7)])
+    def test_chain_equivalence_by_evaluation(self, mgr, shift_name, c1, c2):
+        builder = {"shl": mgr.bvshl, "lshr": mgr.bvlshr}[shift_name]
+        x = mgr.bv_var("x", 8)
+        original = builder(builder(x, mgr.bv_const(c1, 8)),
+                           mgr.bv_const(c2, 8))
+        simplified = simplify(mgr, original)
+        for value in (0, 1, 0x7F, 0x80, 0xFF, 0x55):
+            assert mgr.evaluate(original, {"x": value}) == \
+                mgr.evaluate(simplified, {"x": value})
+
+    @pytest.mark.parametrize("shift_name", ["shl", "lshr"])
+    def test_chain_equivalence_by_solver(self, mgr, shift_name):
+        builder = {"shl": mgr.bvshl, "lshr": mgr.bvlshr}[shift_name]
+        x = mgr.bv_var("x", 8)
+        original = builder(builder(x, mgr.bv_const(2, 8)), mgr.bv_const(3, 8))
+        simplified = simplify(mgr, original)
+        solver = Solver(mgr, timeout=None, max_conflicts=100_000)
+        solver.add(mgr.distinct(original, simplified))
+        assert solver.check() is CheckResult.UNSAT
+
+    def test_chain_query_verdicts_unchanged(self, mgr):
+        x = mgr.bv_var("x", 8)
+
+        # UNSAT: ((x << 2) << 3) != (x << 5) can never hold.
+        unsat = Solver(mgr, timeout=None)
+        unsat.add(mgr.distinct(
+            mgr.bvshl(mgr.bvshl(x, mgr.bv_const(2, 8)), mgr.bv_const(3, 8)),
+            mgr.bvshl(x, mgr.bv_const(5, 8))))
+        assert unsat.check() is CheckResult.UNSAT
+
+        # SAT: a fold must not erase a genuine single shift.
+        sat = Solver(mgr, timeout=None)
+        sat.add(mgr.distinct(mgr.bvshl(x, mgr.bv_const(5, 8)), x))
+        assert sat.check() is CheckResult.SAT
+
+
+class TestExtractConcatFolds:
+    """PR-5 identities: extracts forward through concat / zext / sext."""
+
+    def test_extract_within_low_half(self, mgr):
+        hi, lo = mgr.bv_var("h", 8), mgr.bv_var("l", 8)
+        term = mgr.extract(mgr.concat(hi, lo), 5, 2)
+        simplified = simplify(mgr, term)
+        assert simplified.op is Op.EXTRACT
+        assert simplified.args[0] is lo
+        assert simplified.attrs == (5, 2)
+
+    def test_extract_within_high_half(self, mgr):
+        hi, lo = mgr.bv_var("h", 8), mgr.bv_var("l", 8)
+        term = mgr.extract(mgr.concat(hi, lo), 15, 8)
+        # The full high half: the inner extract folds away entirely.
+        assert simplify(mgr, term) is hi
+
+    def test_straddling_extract_is_left_alone(self, mgr):
+        hi, lo = mgr.bv_var("h", 8), mgr.bv_var("l", 8)
+        term = mgr.extract(mgr.concat(hi, lo), 9, 6)
+        assert simplify(mgr, term) is term
+
+    def test_extract_below_extension(self, mgr):
+        x = mgr.bv_var("x", 8)
+        for extend in (mgr.zext, mgr.sext):
+            term = mgr.extract(extend(x, 8), 7, 0)
+            assert simplify(mgr, term) is x
+            narrow = mgr.extract(extend(x, 8), 3, 1)
+            simplified = simplify(mgr, narrow)
+            assert simplified.op is Op.EXTRACT and simplified.args[0] is x
+
+    def test_extract_of_zext_extension_bits_is_zero(self, mgr):
+        x = mgr.bv_var("x", 8)
+        term = mgr.extract(mgr.zext(x, 8), 15, 8)
+        simplified = simplify(mgr, term)
+        assert simplified.is_const() and simplified.value == 0
+
+    def test_extract_of_sext_extension_bits_is_left_alone(self, mgr):
+        # Sign-extension bits depend on x's sign bit; no constant fold.
+        x = mgr.bv_var("x", 8)
+        term = mgr.extract(mgr.sext(x, 8), 15, 8)
+        assert not simplify(mgr, term).is_const()
+
+    def test_concat_fold_equivalence_by_evaluation(self, mgr):
+        hi, lo = mgr.bv_var("h", 8), mgr.bv_var("l", 8)
+        cases = [mgr.extract(mgr.concat(hi, lo), 5, 2),
+                 mgr.extract(mgr.concat(hi, lo), 14, 9),
+                 mgr.extract(mgr.zext(mgr.bv_var("x", 8), 8), 12, 8)]
+        for original in cases:
+            simplified = simplify(mgr, original)
+            for h in (0, 0xA5, 0xFF):
+                for l in (0, 0x3C, 0xFF):
+                    assignment = {"h": h, "l": l, "x": l}
+                    assert mgr.evaluate(original, assignment) == \
+                        mgr.evaluate(simplified, assignment)
+
+    def test_concat_fold_equivalence_by_solver(self, mgr):
+        hi, lo = mgr.bv_var("h", 8), mgr.bv_var("l", 8)
+        original = mgr.extract(mgr.concat(hi, lo), 6, 1)
+        simplified = simplify(mgr, original)
+        solver = Solver(mgr, timeout=None, max_conflicts=100_000)
+        solver.add(mgr.distinct(original, simplified))
+        assert solver.check() is CheckResult.UNSAT
+
+    def test_extract_query_verdicts_unchanged(self, mgr):
+        hi, lo = mgr.bv_var("h", 8), mgr.bv_var("l", 8)
+
+        # UNSAT: extract(concat(h, l), 7, 0) != l can never hold.
+        unsat = Solver(mgr, timeout=None)
+        unsat.add(mgr.distinct(mgr.extract(mgr.concat(hi, lo), 7, 0), lo))
+        assert unsat.check() is CheckResult.UNSAT
+
+        # SAT: the high half is genuinely independent of the low half.
+        sat = Solver(mgr, timeout=None)
+        sat.add(mgr.distinct(mgr.extract(mgr.concat(hi, lo), 15, 8), lo))
+        assert sat.check() is CheckResult.SAT
+
+
 class TestVerdictPreservation:
     def test_queries_with_rewritten_subterms_keep_their_verdicts(self, mgr):
         x, y = mgr.bv_var("x", 16), mgr.bv_var("y", 16)
