@@ -16,10 +16,18 @@ checking one file (docs/FUZZ.md): ``--budget`` generated programs from
 ``--seed``, optionally ``--reduce``-d to minimal reproducers, with the
 deterministic JSONL stream written to ``--out``.
 
-Exit status (both modes): 0 — no unstable code, 1 — warnings/unstable
+``python -m repro cluster`` checks a corpus with structural-clustering
+dedup (docs/CLUSTER.md): source files (or a ``--synthetic N`` snippet
+corpus) are fingerprinted, grouped into equivalence clusters, and one
+representative per cluster is solved; confirmed members receive the
+propagated verdict.  ``--no-cluster`` runs the same corpus exhaustively
+for A/B comparisons.
+
+Exit status (all modes): 0 — no unstable code, 1 — warnings/unstable
 findings reported (for ``fuzz``, any anomaly counts: diagnostics,
-miscompiles, failed units, expectation mismatches), 2 — the input could
-not be compiled or read (or the campaign configuration was invalid).
+miscompiles, failed units, expectation mismatches; for ``cluster``,
+diagnostics or failed units), 2 — the input could not be compiled or
+read (or the campaign/corpus configuration was invalid).
 """
 
 from __future__ import annotations
@@ -162,11 +170,96 @@ def fuzz_main(argv: Optional[List[str]] = None) -> int:
     return 1 if anomalies else 0
 
 
+def build_cluster_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro cluster",
+        description="Check a corpus with archive-scale structural "
+                    "clustering dedup (docs/CLUSTER.md).")
+    parser.add_argument("sources", nargs="*", metavar="FILE",
+                        help="C-like source files forming the corpus")
+    parser.add_argument("--synthetic", type=int, default=0, metavar="N",
+                        help="add N snippet-template instances to the corpus "
+                             "(the benchmark's Debian-archive stand-in)")
+    parser.add_argument("--seed", type=int, default=0, metavar="N",
+                        help="identifier seed for --synthetic rendering "
+                             "(default: 0)")
+    parser.add_argument("--workers", type=int, default=0, metavar="N",
+                        help="engine worker processes for the representative "
+                             "pass (default: sequential; verdicts are "
+                             "identical either way)")
+    parser.add_argument("--out", metavar="PATH", default=None,
+                        help="write the JSONL stream (unit records, cluster "
+                             "records, run summary) to PATH")
+    parser.add_argument("--cache", metavar="PATH", default=None,
+                        help="warm and flush the solver-query cache at PATH")
+    parser.add_argument("--timeout", type=float, default=5.0,
+                        metavar="SECONDS",
+                        help="per-query solver timeout (default: 5.0)")
+    parser.add_argument("--max-conflicts", type=int, default=50_000,
+                        metavar="N", help="per-query CDCL conflict budget "
+                                          "(default: 50000)")
+    parser.add_argument("--no-cluster", action="store_true",
+                        help="check the same corpus exhaustively instead "
+                             "(A/B baseline)")
+    return parser
+
+
+def cluster_main(argv: Optional[List[str]] = None) -> int:
+    args = build_cluster_parser().parse_args(argv)
+    from repro.cluster import synthetic_cluster_corpus
+    from repro.engine.engine import CheckEngine, EngineConfig
+
+    corpus = []
+    for path in args.sources:
+        try:
+            with open(path, "r", encoding="utf-8") as handle:
+                corpus.append((path, handle.read()))
+        except OSError as exc:
+            print(f"error: cannot read {path}: {exc}", file=sys.stderr)
+            return 2
+    if args.synthetic:
+        corpus.extend(synthetic_cluster_corpus(args.synthetic, seed=args.seed))
+    if not corpus:
+        print("error: empty corpus (pass source files or --synthetic N)",
+              file=sys.stderr)
+        return 2
+
+    config = EngineConfig(
+        workers=args.workers,
+        checker=CheckerConfig(solver_timeout=args.timeout,
+                              max_conflicts=args.max_conflicts,
+                              cluster=not args.no_cluster),
+        cache_path=args.cache,
+        results_path=args.out,
+    )
+    result = CheckEngine(config).check_corpus(corpus)
+    stats = result.stats
+
+    mode = "exhaustive" if args.no_cluster else "clustered"
+    print(f"{mode} run: {stats.units} units, {stats.functions} functions, "
+          f"{stats.diagnostics} diagnostics, {stats.wall_clock:.2f}s")
+    if not args.no_cluster:
+        print(f"  clusters: {stats.cluster_clusters} over "
+              f"{stats.cluster_functions} functions; "
+              f"{stats.cluster_propagated} propagated "
+              f"({stats.cluster_confirmed} solver-confirmed, "
+              f"{stats.cluster_fallbacks} fallbacks)")
+    print(f"  solver: {stats.solver_queries} queries solved, "
+          f"{stats.cache_hits} cache hits, {stats.timeouts} timeouts")
+    if stats.failed_units:
+        print(f"  failed units: {stats.failed_units}")
+    if args.out:
+        print(f"  JSONL stream: {args.out}")
+    return 1 if stats.diagnostics or stats.failed_units else 0
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     if argv is None:
         argv = sys.argv[1:]
     if argv and argv[0] == "fuzz":
         return fuzz_main(argv[1:])
+    if argv and argv[0] == "cluster":
+        return cluster_main(argv[1:])
     args = build_parser().parse_args(argv)
 
     if args.source == "-":

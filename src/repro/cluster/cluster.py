@@ -1,0 +1,73 @@
+"""Grouping fingerprinted functions into equivalence-candidate clusters.
+
+Clustering is pure bookkeeping: functions whose canonical forms are exactly
+equal (full text, not just digests, so hash collisions cannot conflate
+distinct shapes) land in one :class:`FunctionCluster`.  Order is everything
+here — cluster order, member order, and therefore representative choice are
+all derived from submission order, which is what makes cluster assignments
+byte-identical across worker counts and repeated runs (the determinism
+contract mirrored from the fuzz campaign, see docs/CLUSTER.md).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Tuple
+
+from repro.cluster.fingerprint import FunctionFingerprint, fingerprint_function
+from repro.ir.function import Function
+
+
+@dataclass
+class ClusterMember:
+    """One function's place in the clustering: where it came from and its form."""
+
+    unit: int                        # submission index of the owning unit
+    index: int                       # position among the unit's defined functions
+    label: str                       # "unit_name:function_name" for records
+    function: Function
+    fingerprint: FunctionFingerprint
+
+    @property
+    def key(self) -> Tuple[int, int]:
+        return (self.unit, self.index)
+
+
+@dataclass
+class FunctionCluster:
+    """All functions sharing one canonical form; the first member is solved."""
+
+    digest: str
+    members: List[ClusterMember] = field(default_factory=list)
+
+    @property
+    def representative(self) -> ClusterMember:
+        return self.members[0]
+
+    def __len__(self) -> int:
+        return len(self.members)
+
+
+def cluster_functions(
+    functions: Iterable[Tuple[int, int, str, Function]],
+) -> List[FunctionCluster]:
+    """Group ``(unit_index, function_index, unit_name, function)`` tuples.
+
+    Clusters appear in first-appearance order and members in submission
+    order, so the representative of every cluster is the first function of
+    that shape the corpus presented.
+    """
+    clusters: Dict[str, FunctionCluster] = {}
+    ordered: List[FunctionCluster] = []
+    for unit, index, unit_name, function in functions:
+        fingerprint = fingerprint_function(function)
+        member = ClusterMember(unit=unit, index=index,
+                               label=f"{unit_name}:{function.name}",
+                               function=function, fingerprint=fingerprint)
+        existing = clusters.get(fingerprint.canonical)
+        if existing is None:
+            existing = FunctionCluster(digest=fingerprint.digest)
+            clusters[fingerprint.canonical] = existing
+            ordered.append(existing)
+        existing.members.append(member)
+    return ordered

@@ -1,0 +1,202 @@
+"""Structural fingerprints: canonical, alpha-renamed serialization of IR.
+
+A fingerprint is to a whole function what
+:func:`repro.engine.cache.canonical_query_key` is to a solver query: a
+content address that is invariant under everything the checker's verdict is
+invariant under, and sensitive to everything that could change it.
+
+Invariant under:
+
+* function, value, and block *names* (values are numbered by canonical
+  position: arguments by index, instructions in reverse-post-order),
+* the order of the ``blocks`` list (blocks are serialized in reverse post
+  order from the entry, so reordering independent blocks is invisible),
+* operand order of commutative operations (``add``/``mul``/``and``/``or``/
+  ``xor`` and ``icmp eq``/``ne`` operands are serialized in sorted token
+  order),
+* phi incoming order (incoming pairs are sorted by predecessor block index),
+* source locations (diagnostics are remapped per member at propagation
+  time, so locations need not — and must not — split clusters).
+
+Sensitive to:
+
+* instruction kinds, types, predicates, cast kinds, GEP element types and
+  declared array sizes, alloca types — everything that feeds UB conditions,
+* callee names and global names (external identities the encoder and the
+  interpreter key on),
+* constants,
+* per-instruction :class:`~repro.ir.source.Origin` kinds, because the
+  report stage suppresses compiler-originated diagnostics (§4.2/§4.5).
+
+Equal canonical text means the two functions are structurally isomorphic up
+to renaming and commutative operand order; the position-wise correspondence
+of ``blocks``/``instructions`` between two equal fingerprints *is* that
+isomorphism, which is what the propagation layer uses to align names for
+the dual-encoder confirmation and to remap diagnostics.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.ir.function import BasicBlock, Function
+from repro.ir.instructions import (
+    Alloca,
+    BinaryOp,
+    BinOpKind,
+    Branch,
+    Call,
+    Cast,
+    CondBranch,
+    GetElementPtr,
+    ICmp,
+    ICmpPred,
+    Instruction,
+    Load,
+    Phi,
+    Return,
+    Select,
+    Store,
+    Unreachable,
+)
+from repro.ir.values import Argument, Constant, GlobalVariable, UndefValue, Value
+
+#: Commutative IR operations whose operand order must not split clusters
+#: (mirrors ``COMMUTATIVE_OPS`` at the term level).
+COMMUTATIVE_BINOPS = frozenset({
+    BinOpKind.ADD, BinOpKind.MUL, BinOpKind.AND, BinOpKind.OR, BinOpKind.XOR,
+})
+COMMUTATIVE_PREDS = frozenset({ICmpPred.EQ, ICmpPred.NE})
+
+
+@dataclass
+class FunctionFingerprint:
+    """A function's canonical form plus the orders that define it.
+
+    ``blocks`` and ``instructions`` are the canonical (reverse-post-order)
+    sequences the serialization numbered; two fingerprints with equal
+    ``canonical`` text correspond position-by-position through these lists.
+    """
+
+    digest: str                                   # SHA-256 of ``canonical``
+    canonical: str                                # full canonical text
+    blocks: List[BasicBlock] = field(default_factory=list)
+    instructions: List[Instruction] = field(default_factory=list)
+
+    def matches(self, other: "FunctionFingerprint") -> bool:
+        """Exact canonical-form equality (collision-proof, unlike digests)."""
+        return self.canonical == other.canonical
+
+
+def _rpo_blocks(function: Function) -> List[BasicBlock]:
+    """Blocks in reverse post order from the entry; stragglers appended."""
+    if not function.blocks:
+        return []
+    post: List[BasicBlock] = []
+    seen = {id(function.entry)}
+    stack = [(function.entry, iter(function.entry.successors()))]
+    while stack:
+        block, successors = stack[-1]
+        advanced = False
+        for successor in successors:
+            if id(successor) not in seen:
+                seen.add(id(successor))
+                stack.append((successor, iter(successor.successors())))
+                advanced = True
+                break
+        if not advanced:
+            post.append(block)
+            stack.pop()
+    ordered = list(reversed(post))
+    # Unreachable blocks cannot influence verdicts, but keep the form total.
+    ordered.extend(b for b in function.blocks if id(b) not in seen)
+    return ordered
+
+
+def fingerprint_function(function: Function) -> FunctionFingerprint:
+    """Compute the canonical structural fingerprint of ``function``."""
+    blocks = _rpo_blocks(function)
+    block_index: Dict[int, int] = {id(b): i for i, b in enumerate(blocks)}
+    instructions: List[Instruction] = [
+        inst for block in blocks for inst in block.instructions]
+    inst_index: Dict[int, int] = {id(i): n for n, i in enumerate(instructions)}
+
+    def token(value: Optional[Value]) -> str:
+        if value is None:
+            return "void"
+        if isinstance(value, Constant):
+            return f"c{value.value}:{value.type!r}"
+        if isinstance(value, Argument):
+            return f"p{value.index}"
+        if isinstance(value, Instruction):
+            index = inst_index.get(id(value))
+            return f"i{index}" if index is not None else "i?"
+        if isinstance(value, BasicBlock):
+            index = block_index.get(id(value))
+            return f"b{index}" if index is not None else "b?"
+        if isinstance(value, GlobalVariable):
+            return f"@{value.name}"
+        if isinstance(value, UndefValue):
+            return f"undef:{value.type!r}"
+        return f"?{type(value).__name__}"
+
+    def line(inst: Instruction) -> str:
+        if isinstance(inst, BinaryOp):
+            operands = [token(inst.lhs), token(inst.rhs)]
+            if inst.kind in COMMUTATIVE_BINOPS:
+                operands.sort()
+            body = f"{inst.kind.value} {inst.type!r} " + ",".join(operands)
+        elif isinstance(inst, ICmp):
+            operands = [token(inst.lhs), token(inst.rhs)]
+            if inst.pred in COMMUTATIVE_PREDS:
+                operands.sort()
+            body = (f"icmp {inst.pred.value} {inst.lhs.type!r} "
+                    + ",".join(operands))
+        elif isinstance(inst, Select):
+            body = (f"select {inst.type!r} {token(inst.condition)},"
+                    f"{token(inst.on_true)},{token(inst.on_false)}")
+        elif isinstance(inst, Cast):
+            body = f"{inst.kind.value} {token(inst.value)} to {inst.type!r}"
+        elif isinstance(inst, Alloca):
+            body = f"alloca {inst.allocated_type!r}"
+        elif isinstance(inst, Load):
+            body = f"load {inst.type!r} {token(inst.pointer)}"
+        elif isinstance(inst, Store):
+            body = f"store {token(inst.value)},{token(inst.pointer)}"
+        elif isinstance(inst, GetElementPtr):
+            body = (f"gep {inst.element_type!r}"
+                    f"[{inst.array_size if inst.array_size is not None else '?'}]"
+                    f" {token(inst.pointer)},{token(inst.index)}")
+        elif isinstance(inst, Call):
+            args = ",".join(token(a) for a in inst.operands)
+            body = f"call {inst.type!r} @{inst.callee}({args})"
+        elif isinstance(inst, Phi):
+            incoming = sorted(
+                (block_index.get(id(pred), -1), token(value))
+                for value, pred in inst.incoming)
+            pairs = ",".join(f"[{i},{t}]" for i, t in incoming)
+            body = f"phi {inst.type!r} {pairs}"
+        elif isinstance(inst, Branch):
+            body = f"br {token(inst.target)}"
+        elif isinstance(inst, CondBranch):
+            body = (f"condbr {token(inst.condition)},"
+                    f"{token(inst.if_true)},{token(inst.if_false)}")
+        elif isinstance(inst, Return):
+            body = f"ret {token(inst.value)}"
+        elif isinstance(inst, Unreachable):
+            body = "unreachable"
+        else:
+            operands = ",".join(token(op) for op in inst.operands)
+            body = f"{inst.opcode()} {inst.type!r} {operands}"
+        return f"{body} !{inst.origin.kind.value}"
+
+    lines = [f"function {function.ftype!r}"]
+    for index, block in enumerate(blocks):
+        lines.append(f"b{index}:")
+        lines.extend("  " + line(inst) for inst in block.instructions)
+    canonical = "\n".join(lines)
+    digest = hashlib.sha256(canonical.encode("utf-8")).hexdigest()
+    return FunctionFingerprint(digest=digest, canonical=canonical,
+                               blocks=blocks, instructions=instructions)

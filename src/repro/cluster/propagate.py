@@ -1,0 +1,319 @@
+"""Solve one representative per cluster, confirm members, copy verdicts.
+
+Propagation is gated twice.  Membership in a cluster already means *exact*
+canonical-form equality (structural isomorphism up to renaming and
+commutative operand order), and on top of that every member must pass a
+per-member solver equivalence check before it may receive the
+representative's verdict: the member is cloned, renamed onto the
+representative through the fingerprint's positional isomorphism, and both
+functions are encoded into one shared :class:`TermManager` exactly the way
+the repair verifier's equivalence gate does it
+(:func:`repro.repair.verify.prove_equivalence`) — arguments equated, the
+external world correlated by result name, the representative's
+reach-guarded well-definedness assumed, and ``ret_rep ≠ ret_member`` must
+come back UNSAT.  Because the aligned member hash-conses onto the
+representative's terms, the disequality collapses at construction time for
+true clones, so confirmation costs one encoding pass rather than a full
+blast-and-solve cycle.
+
+A member that cannot be confirmed — an UNKNOWN verdict, a void return, or a
+diagnostic that cannot be remapped onto the member's own instructions — is
+*never* propagated to; it falls back to an ordinary full check.  The
+``fallbacks`` counter makes that visible, and the benchmark asserts the
+propagated/confirmed counters stay equal (zero unconfirmed propagations).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import time
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.cluster.cluster import ClusterMember, FunctionCluster, cluster_functions
+from repro.core.checker import CheckerConfig, StackChecker
+from repro.core.encode import FunctionEncoder
+from repro.core.report import BugReport, Diagnostic, FunctionReport
+from repro.exec.clone import clone_function
+from repro.ir.function import Function, Module
+from repro.ir.printer import print_instruction
+from repro.ir.verifier import verify_module
+from repro.repair.verify import (
+    _external_world_correlation,
+    _return_term,
+    _well_defined_original,
+)
+from repro.solver.solver import CheckResult, Solver
+from repro.solver.terms import Term, TermManager
+
+
+@dataclass
+class ClusterStats:
+    """Counters of one clustered run (nested under ``cluster`` in the JSONL)."""
+
+    functions: int = 0               # functions that entered clustering
+    clusters: int = 0                # distinct canonical forms
+    propagated: int = 0              # verdicts copied from a representative
+    confirmed: int = 0               # members that passed the solver gate
+    fallbacks: int = 0               # members re-checked in full instead
+    cluster_time: float = 0.0        # seconds fingerprinting + confirming
+
+    def as_dict(self) -> Dict[str, object]:
+        return {"functions": self.functions, "clusters": self.clusters,
+                "propagated": self.propagated, "confirmed": self.confirmed,
+                "fallbacks": self.fallbacks,
+                "cluster_time": round(self.cluster_time, 6)}
+
+
+def aligned_clone(member: ClusterMember, representative: ClusterMember) -> Function:
+    """Clone ``member`` renamed onto ``representative`` via the isomorphism.
+
+    Equal canonical forms correspond position-by-position, so copying the
+    representative's function/argument/block/instruction names onto the
+    member's clone makes the two encodings share variable names — unchanged
+    subexpressions then hash-cons to the *same* terms, and the name-keyed
+    external-world correlation of the equivalence gate lines up.
+    """
+    from repro.cluster.fingerprint import fingerprint_function
+
+    clone = clone_function(member.function)
+    clone.name = representative.function.name
+    clone_print = fingerprint_function(clone)     # same structure, same order
+    for argument, rep_argument in zip(clone.arguments,
+                                      representative.function.arguments):
+        argument.name = rep_argument.name
+    for block, rep_block in zip(clone_print.blocks,
+                                representative.fingerprint.blocks):
+        block.name = rep_block.name
+    for inst, rep_inst in zip(clone_print.instructions,
+                              representative.fingerprint.instructions):
+        inst.name = rep_inst.name
+    return clone
+
+
+class ClusterConfirmer:
+    """Per-cluster dual-encoder equivalence gate (repair-verifier machinery).
+
+    The representative is encoded once; every member re-uses that encoding
+    through the shared manager, so confirming N members costs N single
+    encodings plus N (almost always trivially UNSAT) solver calls.
+    """
+
+    def __init__(self, representative: ClusterMember,
+                 timeout: Optional[float], max_conflicts: Optional[int]) -> None:
+        self.representative = representative
+        self.timeout = timeout
+        self.max_conflicts = max_conflicts
+        self.manager = TermManager()
+        self.encoder = FunctionEncoder(representative.function, self.manager)
+        self.return_term = _return_term(self.encoder)
+        self.well_defined = _well_defined_original(self.encoder)
+        self._members = 0
+
+    def confirm(self, member: ClusterMember) -> bool:
+        """True iff ``member`` is solver-proven equivalent to the representative."""
+        if self.return_term is None:
+            return False                  # nothing to compare (void function)
+        aligned = aligned_clone(member, self.representative)
+
+        # Fast path: encode the aligned member in the representative's own
+        # serial range.  Fresh variables are named ``{function}.{kind}.{n}``,
+        # so a true clone draws exactly the representative's names, its
+        # terms hash-cons onto the representative's, and the return
+        # disequality folds to a constant contradiction — the solver call
+        # degenerates to refuting ``false``.  The aliasing this induces is
+        # precisely the name-keyed external-world correlation the slow path
+        # asserts, applied at hash-cons time.
+        encoder = FunctionEncoder(aligned, self.manager)
+        member_return = _return_term(encoder)
+        if member_return is self.return_term:
+            solver = Solver(self.manager, timeout=self.timeout,
+                            max_conflicts=self.max_conflicts)
+            solver.add(self.manager.distinct(self.return_term, member_return))
+            return solver.check() is CheckResult.UNSAT
+
+        # Anything that did not collapse gets the full repair-gate proof
+        # under a disjoint serial range (serial aliasing is only justified
+        # when the encodings are identical, so re-draw the fresh variables).
+        self._members += 1
+        encoder = FunctionEncoder(aligned, self.manager,
+                                  serial_start=self._members * 1_000_000)
+        member_return = _return_term(encoder)
+        if member_return is None or \
+                member_return.width != self.return_term.width:
+            return False
+
+        terms: List[Term] = []
+        terms.extend(_external_world_correlation(
+            self.representative.function, aligned, self.encoder, encoder))
+        terms.extend(self.well_defined)
+        terms.append(self.manager.distinct(self.return_term, member_return))
+
+        solver = Solver(self.manager, timeout=self.timeout,
+                        max_conflicts=self.max_conflicts)
+        for term in terms:
+            solver.add(term)
+        for definitions in (self.encoder.definitions_for(*terms),
+                            encoder.definitions_for(*terms)):
+            for definition in definitions:
+                solver.add(definition)
+        return solver.check() is CheckResult.UNSAT
+
+
+def _map_diagnostic(diagnostic: Diagnostic, representative: ClusterMember,
+                    member: ClusterMember) -> Optional[Diagnostic]:
+    """Re-anchor a representative's diagnostic onto the member's own IR."""
+    for position, inst in enumerate(representative.fingerprint.instructions):
+        if inst.location == diagnostic.location and \
+                print_instruction(inst) == diagnostic.fragment:
+            target = member.fingerprint.instructions[position]
+            return dataclasses.replace(
+                diagnostic, function=member.function.name,
+                location=target.location, fragment=print_instruction(target))
+    return None
+
+
+def _propagated_report(rep_report: FunctionReport,
+                       representative: ClusterMember, member: ClusterMember,
+                       elapsed: float) -> Optional[FunctionReport]:
+    """The member's report, copied from the representative's; None if any
+    diagnostic cannot be faithfully remapped (the caller then falls back)."""
+    diagnostics: List[Diagnostic] = []
+    for diagnostic in rep_report.diagnostics:
+        mapped = _map_diagnostic(diagnostic, representative, member)
+        if mapped is None:
+            return None
+        diagnostics.append(mapped)
+    return FunctionReport(
+        function=member.function.name, diagnostics=diagnostics,
+        analysis_time=elapsed,
+        suppressed_compiler_origin=rep_report.suppressed_compiler_origin,
+        cluster_propagated=True)
+
+
+def check_function_escalating(
+    function: Function, config: CheckerConfig, cache=None,
+    escalation_factors: Sequence[float] = (),
+) -> Tuple[FunctionReport, int, bool]:
+    """One function through the checker with the engine's escalation ladder."""
+    from repro.engine.workunit import escalate_config
+
+    checker = StackChecker(config, query_cache=cache)
+    report = checker.check_function(function)
+    attempts, escalated = 1, False
+    for factor in escalation_factors:
+        if report.timeouts <= 0:
+            break
+        escalated = True
+        attempts += 1
+        retry = StackChecker(escalate_config(config, factor), query_cache=cache)
+        report = retry.check_function(function)
+    return report, attempts, escalated
+
+
+def propagate_clusters(
+    clusters: Sequence[FunctionCluster],
+    config: CheckerConfig,
+    cache=None,
+    escalation_factors: Sequence[float] = (),
+    rep_results: Optional[Dict[int, Tuple[FunctionReport, int, bool]]] = None,
+) -> Tuple[Dict[Tuple[int, int], FunctionReport],
+           Dict[Tuple[int, int], Tuple[int, bool]],
+           ClusterStats, List[Dict[str, object]]]:
+    """Solve representatives, confirm members, and copy verdicts.
+
+    ``rep_results`` maps cluster index to an already-computed representative
+    ``(report, attempts, escalated)`` triple (the engine supplies these from
+    its worker pool); missing entries are checked here, sequentially.
+    Returns per-function reports keyed by ``(unit, index)``, per-function
+    ``(attempts, escalated)`` bookkeeping, the run's :class:`ClusterStats`,
+    and one JSON-ready record per cluster for the result sink.
+    """
+    reports: Dict[Tuple[int, int], FunctionReport] = {}
+    bookkeeping: Dict[Tuple[int, int], Tuple[int, bool]] = {}
+    stats = ClusterStats(clusters=len(clusters))
+    records: List[Dict[str, object]] = []
+
+    for cluster_index, cluster in enumerate(clusters):
+        stats.functions += len(cluster.members)
+        representative = cluster.representative
+        precomputed = (rep_results or {}).get(cluster_index)
+        if precomputed is None:
+            rep_report, attempts, escalated = check_function_escalating(
+                representative.function, config, cache, escalation_factors)
+        else:
+            rep_report, attempts, escalated = precomputed
+        reports[representative.key] = rep_report
+        bookkeeping[representative.key] = (attempts, escalated)
+
+        propagated = fallbacks = 0
+        confirmer: Optional[ClusterConfirmer] = None
+        for member in cluster.members[1:]:
+            started = time.monotonic()
+            if confirmer is None:
+                confirmer = ClusterConfirmer(representative,
+                                             config.solver_timeout,
+                                             config.max_conflicts)
+            report: Optional[FunctionReport] = None
+            if confirmer.confirm(member):
+                stats.confirmed += 1
+                report = _propagated_report(rep_report, representative,
+                                            member,
+                                            time.monotonic() - started)
+            stats.cluster_time += time.monotonic() - started
+            if report is not None:
+                stats.propagated += 1
+                propagated += 1
+                bookkeeping[member.key] = (1, False)
+            else:
+                fallbacks += 1
+                stats.fallbacks += 1
+                report, attempts, escalated = check_function_escalating(
+                    member.function, config, cache, escalation_factors)
+                bookkeeping[member.key] = (attempts, escalated)
+            reports[member.key] = report
+
+        records.append({
+            "type": "cluster",
+            "index": cluster_index,
+            "fingerprint": cluster.digest[:16],
+            "size": len(cluster.members),
+            "representative": representative.label,
+            "members": [member.label for member in cluster.members],
+            "diagnostics": len(rep_report.diagnostics),
+            "propagated": propagated,
+            "fallbacks": fallbacks,
+        })
+    return reports, bookkeeping, stats, records
+
+
+def check_module_clustered(
+    module: Module, config: CheckerConfig, cache=None,
+    escalation_factors: Sequence[float] = (),
+) -> Tuple[BugReport, ClusterStats]:
+    """Single-module clustering: the :class:`StackChecker` cluster path.
+
+    Verifies and (per config) inlines like ``check_module``, clusters the
+    module's own functions, and checks one representative per cluster.
+    """
+    verify_module(module)
+    if config.inline:
+        from repro.lower.inline import inline_module
+        inline_module(module)
+    base = dataclasses.replace(config, cluster=False, inline=False)
+
+    started = time.monotonic()
+    functions = module.defined_functions()
+    clusters = cluster_functions(
+        (0, index, module.name, function)
+        for index, function in enumerate(functions))
+    fingerprint_time = time.monotonic() - started
+
+    reports, _bookkeeping, stats, _records = propagate_clusters(
+        clusters, base, cache, escalation_factors)
+    stats.cluster_time += fingerprint_time
+
+    report = BugReport(module=module.name)
+    for index in range(len(functions)):
+        report.functions.append(reports[(0, index)])
+    return report, stats

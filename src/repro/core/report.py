@@ -122,6 +122,8 @@ class FunctionReport:
     timeouts: int = 0
     analysis_time: float = 0.0
     suppressed_compiler_origin: int = 0     # warnings dropped per §4.2/§4.5
+    cluster_propagated: bool = False        # verdict copied from a cluster
+                                            # representative (docs/CLUSTER.md)
     # Solver-level counters (see repro.solver.solver.SolverStats / docs/SOLVER.md):
     contexts: int = 0                       # incremental query contexts opened
     sat_calls: int = 0                      # queries that reached the CDCL loop

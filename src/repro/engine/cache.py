@@ -15,6 +15,13 @@ Three design points matter for soundness:
   (``f.arg.len``, ``f.div.3``), so two instances of the same template never
   share names.  The canonical form renames variables to ``v0, v1, ...`` in
   first-visit order, which is deterministic for a fixed term structure.
+* **Commutative canonicalization.**  The term manager orders commutative
+  operands by creation order, so structurally identical queries built
+  through different histories (``a + b`` vs. ``b + a`` in the source) would
+  otherwise serialize differently.  The canonical form orders commutative
+  operands by a name-free structural color instead, so such queries — and
+  the whole-function clusters built on the same idea in
+  :mod:`repro.cluster` — share one key.
 * **DAG-aware serialization.**  Terms are hash-consed DAGs with heavy
   sharing; the serializer emits each distinct node once and refers to it by
   index, so the canonical form stays linear in DAG size.
@@ -43,7 +50,7 @@ from collections import OrderedDict
 from dataclasses import dataclass
 from typing import Dict, Iterable, List, Optional, Sequence
 
-from repro.solver.terms import Op, Term
+from repro.solver.terms import COMMUTATIVE_OPS, Op, Term
 
 #: Cache verdict values (mirrors :class:`repro.solver.solver.CheckResult`).
 VERDICT_SAT = "sat"
@@ -53,14 +60,107 @@ VERDICT_UNKNOWN = "unknown"
 _VERDICTS = (VERDICT_SAT, VERDICT_UNSAT, VERDICT_UNKNOWN)
 
 
+def _color(payload: str) -> int:
+    """Deterministic 64-bit structural hash (process- and run-independent)."""
+    return int.from_bytes(
+        hashlib.blake2b(payload.encode("utf-8"), digest_size=8).digest(), "big")
+
+
+_COLOR_MASK = (1 << 64) - 1
+
+
+def _canonical_colors(terms: Sequence[Term]):
+    """Name-free structural colors for every node of a query's term DAG.
+
+    ``TermManager`` normalizes commutative operands by *creation order*
+    (tid), so two structurally identical queries built through different
+    construction histories — ``a + b`` in one translation unit, ``b + a`` in
+    another — can disagree about operand order.  The colors computed here
+    depend only on structure, never on names or tids, and are used solely to
+    pick a canonical operand order for commutative nodes:
+
+    * an upward pass hashes each node from its operator, attributes, sort,
+      and child colors (commutative children as a sorted multiset), so
+      variables collapse to their sort;
+    * Weisfeiler-Lehman-style refinement rounds then alternate a downward
+      pass — each node absorbs the multiset of contexts it occurs in — with
+      a re-hash of the upward colors, which tells apart same-shaped subterms
+      (e.g. the ``x`` and ``y`` of ``(x + y) - x``, or the ``sext(x)`` and
+      ``sext(y)`` above them) by how the rest of the query uses them.
+
+    Color collisions are harmless for soundness — they only fall back to the
+    original operand order, they never change what the serialization says.
+    """
+    order: List[Term] = []
+    seen: set = set()
+    for root in terms:
+        stack = [(root, False)]
+        while stack:
+            term, ready = stack.pop()
+            if ready:
+                order.append(term)
+                continue
+            if term.tid in seen:
+                continue
+            seen.add(term.tid)
+            stack.append((term, True))
+            for arg in term.args:
+                stack.append((arg, False))
+
+    def structural(term: Term, colors: Dict[int, int], context: int) -> int:
+        sort = term.sort.kind if term.sort.is_bool() else f"bv{term.sort.width}"
+        if term.op is Op.VAR:
+            payload = f"var::{sort}"
+        elif term.op is Op.CONST:
+            payload = f"const:{term.attrs[0]}:{sort}"
+        else:
+            child = [colors[a.tid] for a in term.args]
+            if term.op in COMMUTATIVE_OPS:
+                child.sort()
+            attrs = ",".join(str(a) for a in term.attrs)
+            payload = f"{term.op.value}:{attrs}:{sort}:" \
+                      + ",".join(str(c) for c in child)
+        return _color(f"{payload}@{context}")
+
+    colors: Dict[int, int] = {}
+    for term in order:               # children before parents
+        colors[term.tid] = structural(term, colors, 0)
+
+    for _ in range(2):               # two refinement rounds suffice in practice
+        context: Dict[int, int] = {}
+        for index, root in enumerate(terms):
+            context[root.tid] = (context.get(root.tid, 0)
+                                 + _color(f"root:{index}")) & _COLOR_MASK
+        for term in reversed(order):     # parents before children
+            mine = _color(f"{colors[term.tid]}@{context.get(term.tid, 0)}")
+            for position, arg in enumerate(term.args):
+                role = -1 if term.op in COMMUTATIVE_OPS else position
+                context[arg.tid] = (context.get(arg.tid, 0)
+                                    + _color(f"ctx:{mine}:{role}")) & _COLOR_MASK
+        for term in order:               # fold contexts back into the colors
+            colors[term.tid] = structural(term, colors,
+                                          context.get(term.tid, 0))
+    return colors
+
+
 def canonical_query_key(terms: Sequence[Term]) -> str:
     """Content address of a query: SHA-256 of its canonical serialization.
 
     The serialization walks the term DAG bottom-up, assigns every distinct
-    node a sequential index, and alpha-renames variables in first-visit
-    order.  Two queries receive the same key iff their term DAGs are
-    structurally identical up to variable naming.
+    node a sequential index, alpha-renames variables in first-visit order,
+    and lists the operands of commutative operators in a canonical,
+    structure-derived order (see :func:`_canonical_colors`).  Two queries
+    receive the same key iff their term DAGs are structurally identical up
+    to variable naming and commutative operand order — both of which
+    preserve semantics, so replaying a verdict across equal keys is sound.
     """
+    final = _canonical_colors(terms)
+
+    def canonical_args(term: Term) -> List[Term]:
+        if term.op in COMMUTATIVE_OPS and len(term.args) > 1:
+            return sorted(term.args, key=lambda a: final[a.tid])
+        return list(term.args)
+
     rename: Dict[str, str] = {}
     memo: Dict[int, str] = {}
     nodes: List[str] = []
@@ -72,7 +172,9 @@ def canonical_query_key(terms: Sequence[Term]) -> str:
                 continue
             if not ready:
                 stack.append((term, True))
-                for arg in term.args:
+                # Reversed push so the canonically-first operand is visited
+                # (and therefore alpha-renamed) first.
+                for arg in reversed(canonical_args(term)):
                     if arg.tid not in memo:
                         stack.append((arg, False))
                 continue
@@ -83,7 +185,7 @@ def canonical_query_key(terms: Sequence[Term]) -> str:
             elif term.op is Op.CONST:
                 node = f"const:{term.attrs[0]}:{sort}"
             else:
-                args = ",".join(memo[a.tid] for a in term.args)
+                args = ",".join(memo[a.tid] for a in canonical_args(term))
                 attrs = ",".join(str(a) for a in term.attrs)
                 node = f"{term.op.value}:{attrs}:{args}"
             memo[term.tid] = f"n{len(nodes)}"

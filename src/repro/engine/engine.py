@@ -95,6 +95,13 @@ class RunStats:
     repair_gate_recheck_rejects: int = 0
     repair_gate_replay_rejects: int = 0
     repair_time: float = 0.0
+    # Structural-clustering dedup totals (repro.cluster / docs/CLUSTER.md):
+    cluster_functions: int = 0           # functions that entered clustering
+    cluster_clusters: int = 0            # distinct canonical forms
+    cluster_propagated: int = 0          # verdicts copied from representatives
+    cluster_confirmed: int = 0           # members passing the solver gate
+    cluster_fallbacks: int = 0           # members re-checked in full
+    cluster_time: float = 0.0            # seconds fingerprinting + confirming
 
     def merge(self, other: "RunStats") -> None:
         """Accumulate another run's counters into this one.
@@ -145,6 +152,14 @@ class RunStats:
                     "replay": self.repair_gate_replay_rejects,
                 },
                 "repair_time": round(self.repair_time, 6),
+            },
+            "cluster": {
+                "functions": self.cluster_functions,
+                "clusters": self.cluster_clusters,
+                "propagated": self.cluster_propagated,
+                "confirmed": self.cluster_confirmed,
+                "fallbacks": self.cluster_fallbacks,
+                "cluster_time": round(self.cluster_time, 6),
             },
         }
 
@@ -224,11 +239,21 @@ class CheckEngine:
         sink = JsonlResultSink(self.config.results_path) \
             if self.config.results_path else None
         try:
-            if self.config.workers > 1 and len(work) > 1:
+            cluster_stats = None
+            if self.config.checker.cluster:
+                results, cluster_stats = self._run_clustered(work, sink)
+            elif self.config.workers > 1 and len(work) > 1:
                 results = self._run_parallel(work, sink)
             else:
                 results = self._run_sequential(work, sink)
             stats = self._aggregate(results, time.monotonic() - started)
+            if cluster_stats is not None:
+                stats.cluster_functions = cluster_stats.functions
+                stats.cluster_clusters = cluster_stats.clusters
+                stats.cluster_propagated = cluster_stats.propagated
+                stats.cluster_confirmed = cluster_stats.confirmed
+                stats.cluster_fallbacks = cluster_stats.fallbacks
+                stats.cluster_time = cluster_stats.cluster_time
             if sink is not None:
                 sink.write_summary(self._summary_dict(stats))
         finally:
@@ -245,11 +270,14 @@ class CheckEngine:
     # -- execution strategies ---------------------------------------------------------
 
     def _run_sequential(self, work: List[WorkUnit],
-                        sink: Optional[JsonlResultSink]) -> List[UnitResult]:
+                        sink: Optional[JsonlResultSink],
+                        config: Optional[CheckerConfig] = None,
+                        ) -> List[UnitResult]:
+        checker = config if config is not None else self.config.checker
         results: List[UnitResult] = []
         for unit in work:
             result = check_work_unit(
-                unit, self.config.checker, cache=self.cache,
+                unit, checker, cache=self.cache,
                 escalation_factors=self.config.escalation_factors,
                 drain_cache=False)
             results.append(result)
@@ -261,7 +289,10 @@ class CheckEngine:
         return results
 
     def _run_parallel(self, work: List[WorkUnit],
-                      sink: Optional[JsonlResultSink]) -> List[UnitResult]:
+                      sink: Optional[JsonlResultSink],
+                      config: Optional[CheckerConfig] = None,
+                      ) -> List[UnitResult]:
+        checker = config if config is not None else self.config.checker
         workers = min(self.config.workers, len(work))
         cache_seed = self.cache.snapshot() if self.cache is not None else None
         context = multiprocessing.get_context(self.config.start_method)
@@ -269,7 +300,7 @@ class CheckEngine:
         with context.Pool(
             processes=workers,
             initializer=_worker_init,
-            initargs=(self.config.checker, cache_seed,
+            initargs=(checker, cache_seed,
                       self.config.cache_capacity,
                       self.config.escalation_factors),
         ) as pool:
@@ -285,6 +316,104 @@ class CheckEngine:
                                     escalated=result.escalated,
                                     error=result.error, meta=result.meta)
         return [result for result in ordered if result is not None]
+
+    def _run_clustered(self, work: List[WorkUnit],
+                       sink: Optional[JsonlResultSink]):
+        """Cluster the whole corpus, solve representatives, propagate.
+
+        Units are compiled (and inlined, per the checker config) in the
+        parent so their functions can be fingerprinted across unit
+        boundaries; one mini-unit per cluster representative then goes
+        through the ordinary sequential/parallel machinery under a
+        ``cluster=False`` config, and the propagation layer distributes the
+        verdicts.  Unit records stream in submission order regardless of
+        worker count, followed by one record per cluster — which is what
+        makes clustered runs byte-comparable across ``--workers`` settings.
+        """
+        import dataclasses
+
+        from repro.cluster.cluster import cluster_functions
+        from repro.cluster.propagate import propagate_clusters
+        from repro.ir.verifier import verify_module
+
+        checker = self.config.checker
+        base = dataclasses.replace(checker, cluster=False, inline=False)
+
+        modules: List[Optional[Module]] = []
+        errors: List[Optional[str]] = []
+        for unit in work:
+            try:
+                if unit.module is None:
+                    from repro.api import compile_source
+                    module = compile_source(unit.source, filename=unit.filename)
+                else:
+                    module = unit.module
+                verify_module(module)
+                if checker.inline:
+                    from repro.lower.inline import inline_module
+                    inline_module(module)
+                modules.append(module)
+                errors.append(None)
+            except Exception as exc:               # frontend/verifier rejection
+                modules.append(None)
+                errors.append(f"{type(exc).__name__}: {exc}")
+
+        started = time.monotonic()
+        clusters = cluster_functions(
+            (unit_index, function_index, work[unit_index].name, function)
+            for unit_index, module in enumerate(modules) if module is not None
+            for function_index, function in enumerate(module.defined_functions()))
+        fingerprint_time = time.monotonic() - started
+
+        # One mini-unit per representative through the ordinary fan-out.
+        rep_units: List[WorkUnit] = []
+        for cluster_index, cluster in enumerate(clusters):
+            rep_module = Module(name=f"cluster{cluster_index}")
+            rep_module.add_function(cluster.representative.function)
+            rep_units.append(WorkUnit(name=f"cluster{cluster_index}",
+                                      module=rep_module))
+        if self.config.workers > 1 and len(rep_units) > 1:
+            rep_unit_results = self._run_parallel(rep_units, None, config=base)
+        else:
+            rep_unit_results = self._run_sequential(rep_units, None, config=base)
+        rep_results = {}
+        for cluster_index, result in enumerate(rep_unit_results):
+            if result.error is None and result.report.functions:
+                rep_results[cluster_index] = (result.report.functions[0],
+                                              result.attempts, result.escalated)
+
+        reports, bookkeeping, cluster_stats, records = propagate_clusters(
+            clusters, base, cache=self.cache,
+            escalation_factors=self.config.escalation_factors,
+            rep_results=rep_results)
+        cluster_stats.cluster_time += fingerprint_time
+
+        results: List[UnitResult] = []
+        for unit_index, unit in enumerate(work):
+            module, error = modules[unit_index], errors[unit_index]
+            report = BugReport(module=unit.name)
+            attempts, escalated = 1, False
+            if module is not None:
+                report.module = module.name or unit.name
+                for function_index in range(len(module.defined_functions())):
+                    key = (unit_index, function_index)
+                    report.functions.append(reports[key])
+                    unit_attempts, unit_escalated = bookkeeping[key]
+                    attempts = max(attempts, unit_attempts)
+                    escalated = escalated or unit_escalated
+            result = UnitResult(name=unit.name, report=report,
+                                attempts=attempts, escalated=escalated,
+                                error=error, meta=dict(unit.meta))
+            results.append(result)
+            if sink is not None:
+                sink.write_unit(result.name, result.report,
+                                attempts=result.attempts,
+                                escalated=result.escalated,
+                                error=result.error, meta=result.meta)
+        if sink is not None:
+            for record in records:
+                sink.write_record(record)
+        return results, cluster_stats
 
     # -- helpers --------------------------------------------------------------------
 

@@ -55,6 +55,7 @@ def report_to_dict(name: str, report: BugReport, attempts: int = 1,
             {
                 "function": fr.function,
                 "diagnostics": len(fr.diagnostics),
+                "propagated": fr.cluster_propagated,
                 "queries": fr.queries,
                 "cache_hits": fr.cache_hits,
                 "timeouts": fr.timeouts,

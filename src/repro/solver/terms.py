@@ -195,6 +195,10 @@ _COMMUTATIVE = {
     Op.BVADD, Op.BVMUL, Op.BVAND, Op.BVOR, Op.BVXOR,
 }
 
+#: Public view of the commutative operator set, used by the content-addressed
+#: cache and the structural fingerprinter to canonicalize operand order.
+COMMUTATIVE_OPS = frozenset(_COMMUTATIVE)
+
 
 class TermManager:
     """Factory and hash-consing table for :class:`Term` objects.

@@ -13,7 +13,7 @@ import pytest
 
 from repro.api import check_corpus, check_source
 from repro.core.checker import CheckerConfig
-from repro.core.report import diagnostic_signature
+from repro.core.report import diagnostic_signature, report_signature
 from repro.corpus.snippets import SNIPPETS, STABLE_SNIPPETS, snippet_by_name
 from repro.engine.cache import (
     SolverQueryCache,
@@ -95,6 +95,58 @@ def test_canonical_key_is_width_sensitive():
     k32 = canonical_query_key([mgr.eq(mgr.bv_var("x", 32), mgr.bv_const(0, 32))])
     k64 = canonical_query_key([mgr.eq(mgr.bv_var("x", 64), mgr.bv_const(0, 64))])
     assert k32 != k64
+
+
+def test_canonical_key_ignores_variable_creation_order():
+    # Regression: commutative operands are ordered by term id, i.e. by
+    # creation order, so two encodings of the same function that merely
+    # *introduced* variables in a different order used to produce different
+    # keys.  The key must depend on structure alone.
+    def key(first, second):
+        mgr = TermManager()
+        a = mgr.bv_var(first, 32)
+        b = mgr.bv_var(second, 32)
+        x, y = (a, b) if first == "x" else (b, a)
+        query = mgr.eq(mgr.bvsub(mgr.bvadd(x, y), x), mgr.bv_const(0, 32))
+        return canonical_query_key([query])
+
+    assert key("x", "y") == key("y", "x")
+
+
+def test_canonical_key_ignores_commutative_order_with_distinct_shapes():
+    # The subterms must be told apart structurally (sext of different
+    # sources), not by name or age — one refinement round is not enough for
+    # this shape, so it pins the iterative coloring.
+    def key(order):
+        mgr = TermManager()
+        a = mgr.sext(mgr.bv_var("a", 8), 24)
+        b = mgr.sext(mgr.bv_var("b", 16), 16)
+        wide_a = mgr.bvadd(a, mgr.bv_const(1, 32))
+        operands = (wide_a, b) if order else (b, wide_a)
+        return canonical_query_key([mgr.eq(mgr.bvadd(*operands),
+                                           mgr.bv_const(0, 32))])
+
+    assert key(True) == key(False)
+
+
+def test_alpha_renamed_functions_share_cache_entries():
+    # End to end: checking two instances of one snippet template must
+    # replay every verdict of the first instance from the cache.
+    cache = SolverQueryCache()
+    config = CheckerConfig()
+    first = check_work_unit(
+        WorkUnit(name="a", source=SNIPPETS[0].render("a")), config,
+        cache=cache, drain_cache=False)
+    misses_after_first = cache.misses
+    second = check_work_unit(
+        WorkUnit(name="b", source=SNIPPETS[0].render("b")), config,
+        cache=cache, drain_cache=False)
+    assert cache.misses == misses_after_first     # no new solver work at all
+    assert sum(fr.cache_hits for fr in second.report.functions) == \
+        sum(fr.queries for fr in second.report.functions)
+    # Same verdicts modulo the renamed identity (function name, filename).
+    assert [sig[2:] for sig in report_signature(first.report)] == \
+        [sig[2:] for sig in report_signature(second.report)]
 
 
 # -- cache semantics ------------------------------------------------------------------

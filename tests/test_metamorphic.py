@@ -1,0 +1,134 @@
+"""Metamorphic invariance of checker verdicts (docs/CLUSTER.md).
+
+The clustering subsystem's soundness rests on one claim: the checker's
+verdict is invariant under alpha-renaming, reordering of the block list,
+and commutative operand swaps — exactly the transformations the structural
+fingerprint normalizes away.  These tests state that claim directly against
+the snippet corpus: transform the compiled IR, re-run the full checker, and
+the verdicts must not move.
+
+Verdicts are compared through a reduced signature — source location,
+algorithm, message, minimal UB-condition set, classification — because the
+full :func:`repro.core.report.diagnostic_signature` embeds function and
+value names, which the transformations change by construction.
+"""
+
+import pytest
+
+from repro.api import compile_source
+from repro.cluster.fingerprint import COMMUTATIVE_BINOPS, COMMUTATIVE_PREDS
+from repro.core.checker import CheckerConfig, StackChecker
+from repro.corpus.snippets import SNIPPETS, STABLE_SNIPPETS
+from repro.ir.instructions import BinaryOp, ICmp
+from repro.ir.verifier import verify_module
+
+# A corpus slice that covers every UB kind but keeps the suite fast: every
+# unstable template plus stable padding that must stay unflagged throughout.
+CORPUS = SNIPPETS + STABLE_SNIPPETS[:4]
+
+
+def _reduced_signature(report):
+    return sorted(
+        (str(d.location), d.algorithm.value, d.message,
+         tuple(sorted(c.kind.value for c in d.ub_set.conditions)),
+         d.classification)
+        for d in report.bugs)
+
+
+def _check(module):
+    return StackChecker(CheckerConfig()).check_module(module)
+
+
+def _compile(snippet):
+    return compile_source(snippet.render("meta"), f"{snippet.name}.c")
+
+
+def _alpha_rename(module):
+    for function in module.defined_functions():
+        for index, argument in enumerate(function.arguments):
+            argument.name = f"mm_arg{index}"
+        for index, block in enumerate(function.blocks):
+            block.name = f"mm_bb{index}"
+        serial = 0
+        for block in function.blocks:
+            for inst in block.instructions:
+                if inst.name:
+                    inst.name = f"mm_v{serial}"
+                    serial += 1
+
+
+def _reorder_blocks(module):
+    for function in module.defined_functions():
+        function.blocks[1:] = reversed(function.blocks[1:])
+
+
+def _swap_commutative_operands(module):
+    swapped = 0
+    for function in module.defined_functions():
+        for inst in function.instructions():
+            commutative = (
+                isinstance(inst, BinaryOp) and inst.kind in COMMUTATIVE_BINOPS
+            ) or (isinstance(inst, ICmp) and inst.pred in COMMUTATIVE_PREDS)
+            if commutative:
+                inst.operands[0], inst.operands[1] = \
+                    inst.operands[1], inst.operands[0]
+                swapped += 1
+    return swapped
+
+
+@pytest.fixture(scope="module")
+def baselines():
+    return {snippet.name: _reduced_signature(_check(_compile(snippet)))
+            for snippet in CORPUS}
+
+
+def test_baseline_flags_unstable_and_spares_stable(baselines):
+    for snippet in CORPUS:
+        if snippet.is_unstable:
+            assert baselines[snippet.name], snippet.name
+        else:
+            assert not baselines[snippet.name], snippet.name
+
+
+@pytest.mark.parametrize("snippet", CORPUS, ids=lambda s: s.name)
+def test_alpha_renaming_preserves_verdicts(snippet, baselines):
+    module = _compile(snippet)
+    _alpha_rename(module)
+    verify_module(module)
+    assert _reduced_signature(_check(module)) == baselines[snippet.name]
+
+
+@pytest.mark.parametrize("snippet", CORPUS, ids=lambda s: s.name)
+def test_block_reordering_preserves_verdicts(snippet, baselines):
+    module = _compile(snippet)
+    _reorder_blocks(module)
+    verify_module(module)
+    assert _reduced_signature(_check(module)) == baselines[snippet.name]
+
+
+@pytest.mark.parametrize("snippet", CORPUS, ids=lambda s: s.name)
+def test_commutative_swaps_preserve_verdicts(snippet, baselines):
+    module = _compile(snippet)
+    _swap_commutative_operands(module)
+    verify_module(module)
+    assert _reduced_signature(_check(module)) == baselines[snippet.name]
+
+
+def test_commutative_swap_actually_rewrites_something():
+    # Non-vacuity: the corpus must contain commutative operations, or the
+    # swap test above proves nothing.
+    total = sum(_swap_commutative_operands(_compile(snippet))
+                for snippet in CORPUS)
+    assert total > 0
+
+
+def test_transforms_compose(baselines):
+    # All three transformations stacked — the worst case a clustered corpus
+    # member can present relative to its representative.
+    for snippet in CORPUS[:6]:
+        module = _compile(snippet)
+        _alpha_rename(module)
+        _reorder_blocks(module)
+        _swap_commutative_operands(module)
+        verify_module(module)
+        assert _reduced_signature(_check(module)) == baselines[snippet.name]
