@@ -1,0 +1,148 @@
+"""Solver-backend portfolio benchmark: verdict identity and racing wins.
+
+Runs the fig16 snippet corpus through the checker once per backend
+configuration and asserts the hard contract: every configuration must
+report **byte-identical verdicts** (``report_signature`` equality — any
+divergence is a soundness bug and fails the benchmark outright).  On top
+of identity the benchmark reports per-backend win counts and oracle
+pre-answer counts, and — when a native backend (python-sat) is present —
+asserts that the portfolio wins wall-clock over the builtin-only baseline
+on the re-solve-heavy scratch workload.
+
+``--bench-fast`` shrinks the corpus for the CI smoke job; the ``dimacs``
+configurations drive the bundled reference CLI
+(``python -m repro.solver.backends.selfsolve``) so the subprocess path is
+always exercised, native solver or not.
+"""
+
+import os
+import sys
+import time
+
+import pytest
+
+from repro.api import check_corpus
+from repro.core.checker import CheckerConfig
+from repro.core.report import report_signature
+from repro.corpus.snippets import SNIPPETS, STABLE_SNIPPETS
+from repro.engine.engine import EngineConfig
+from repro.solver.backends import SAT_BINARY_ENV, available_backends
+
+SELFSOLVE = f"{sys.executable} -m repro.solver.backends.selfsolve"
+
+
+@pytest.fixture(autouse=True)
+def _selfsolve_binary(monkeypatch):
+    monkeypatch.setenv(SAT_BINARY_ENV, SELFSOLVE)
+
+
+def _corpus(fast_mode):
+    snippets = SNIPPETS + STABLE_SNIPPETS
+    if fast_mode:
+        snippets = snippets[::3]
+    return [(s.name, s.render("portfolio")) for s in snippets]
+
+
+def _configurations(fast_mode):
+    """(label, CheckerConfig overrides) per runnable configuration."""
+    configs = [("builtin", {"backend": "builtin"})]
+    if not fast_mode:
+        configs.append(("dimacs", {"backend": "dimacs"}))
+    configs.append(("portfolio-builtin-dimacs",
+                    {"portfolio": ("builtin", "dimacs")}))
+    if "pysat" in available_backends():
+        configs.append(("pysat", {"backend": "pysat"}))
+        configs.append(("portfolio-builtin-pysat",
+                        {"portfolio": ("builtin", "pysat")}))
+    return configs
+
+
+def _run(corpus, **overrides):
+    config = CheckerConfig(solver_timeout=60.0, **overrides)
+    engine_config = EngineConfig(workers=0, checker=config,
+                                 cache_enabled=False)
+    started = time.monotonic()
+    result = check_corpus(corpus, engine_config=engine_config)
+    return result, time.monotonic() - started
+
+
+def test_portfolio_verdict_identity(once, fast_mode):
+    """HARD: every backend configuration reports identical verdicts."""
+    corpus = _corpus(fast_mode)
+    configurations = _configurations(fast_mode)
+
+    def sweep():
+        baseline, baseline_elapsed = _run(corpus)
+        rows = [("baseline", baseline, baseline_elapsed)]
+        for label, overrides in configurations:
+            rows.append((label, *_run(corpus, **overrides)))
+        return baseline, rows
+
+    baseline, rows = once(sweep)
+    reference = report_signature(baseline)
+
+    print()
+    print(f"{'configuration':28s} {'diags':>5s} {'queries':>7s} "
+          f"{'sat_calls':>9s} {'oracle':>6s} {'time':>7s}  backend wins")
+    for label, result, elapsed in rows:
+        stats = result.stats
+        wins = ", ".join(f"{name}={count}" for name, count
+                         in sorted(stats.backend_wins.items())) or "-"
+        print(f"{label:28s} {stats.diagnostics:5d} {stats.queries:7d} "
+              f"{stats.sat_calls:9d} "
+              f"{stats.oracle_sat + stats.oracle_unsat:6d} "
+              f"{elapsed:6.2f}s  {wins}")
+
+        # Verdict identity is the contract: any divergence from the
+        # builtin-only baseline is a hard failure.
+        assert report_signature(result) == reference, label
+        assert stats.timeouts == 0, label
+
+    # Per-backend win accounting: every raced query is credited exactly
+    # once, to a configured member.
+    for label, result, _elapsed in rows[1:]:
+        stats = result.stats
+        assert sum(stats.backend_wins.values()) == stats.sat_calls, label
+        expected = {"builtin", "pysat", "dimacs"}
+        assert set(stats.backend_wins) <= expected, label
+    by_label = {label: result for label, result, _ in rows}
+    assert set(by_label["builtin"].stats.backend_wins) <= {"builtin"}
+
+    # The oracle pre-pass decides a meaningful share before any backend
+    # runs, identically across configurations.
+    oracle_counts = {label: (result.stats.oracle_sat,
+                             result.stats.oracle_unsat)
+                     for label, result, _ in rows}
+    assert len(set(oracle_counts.values())) == 1, oracle_counts
+    assert by_label["builtin"].stats.oracle_sat > 0
+
+
+@pytest.mark.skipif("pysat" not in available_backends(),
+                    reason="needs python-sat for a native racing partner")
+def test_portfolio_wins_wall_clock_with_native_backend(once, fast_mode):
+    """With python-sat present, racing must not lose to builtin alone.
+
+    Scratch mode re-solves every query from zero, which is where a native
+    CDCL implementation pays off; the portfolio must finish the same
+    workload at least as fast as the builtin-only run (with identical
+    verdicts, asserted above and re-asserted here).
+    """
+    corpus = _corpus(fast_mode)
+
+    def compare():
+        builtin, builtin_elapsed = _run(corpus, incremental=False,
+                                        backend="builtin")
+        raced, raced_elapsed = _run(corpus, incremental=False,
+                                    portfolio=("pysat", "builtin"))
+        return builtin, builtin_elapsed, raced, raced_elapsed
+
+    builtin, builtin_elapsed, raced, raced_elapsed = once(compare)
+    print()
+    print(f"builtin-only: {builtin_elapsed:.2f}s   "
+          f"portfolio(pysat,builtin): {raced_elapsed:.2f}s   "
+          f"wins: {dict(sorted(raced.stats.backend_wins.items()))}")
+    assert report_signature(raced) == report_signature(builtin)
+    # Modest margin: the race adds thread overhead per query, so "wins"
+    # means finishing within 10% of — or faster than — the baseline.
+    assert raced_elapsed <= builtin_elapsed * 1.1
+    assert raced.stats.backend_wins.get("pysat", 0) > 0

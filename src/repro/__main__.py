@@ -77,6 +77,15 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument("--no-incremental", action="store_true",
                         help="solve every query from scratch instead of "
                              "batching into incremental contexts")
+    parser.add_argument("--backend", metavar="NAME", default=None,
+                        help="route solver queries through one named SAT "
+                             "backend: builtin, pysat, or dimacs "
+                             "(default: the direct in-process path)")
+    parser.add_argument("--portfolio", metavar="NAMES", default=None,
+                        help="race a comma-separated list of backends per "
+                             "query and take the first definitive answer "
+                             "(e.g. builtin,pysat; unavailable members are "
+                             "dropped)")
     parser.add_argument("--show-config", action="store_true",
                         help="print the active CheckerConfig before checking")
     return parser
@@ -274,6 +283,12 @@ def main(argv: Optional[List[str]] = None) -> int:
             return 2
         filename = args.source
 
+    portfolio = tuple(name.strip() for name in args.portfolio.split(",")
+                      if name.strip()) if args.portfolio else ()
+    if args.backend and portfolio:
+        print("error: --backend and --portfolio are mutually exclusive",
+              file=sys.stderr)
+        return 2
     config = CheckerConfig(
         solver_timeout=args.timeout,
         max_conflicts=args.max_conflicts,
@@ -281,6 +296,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         validate_witnesses=args.validate,
         witness_seed=args.seed,
         repair=args.repair,
+        backend=args.backend,
+        portfolio=portfolio,
     )
     if args.show_config:
         print(config.describe())

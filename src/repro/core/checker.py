@@ -101,6 +101,14 @@ class CheckerConfig:
     #: per cluster, and propagate solver-confirmed verdicts to the other
     #: members (docs/CLUSTER.md).
     cluster: bool = False
+    #: Route solver queries through one named backend ("builtin", "pysat",
+    #: "dimacs"); None keeps the direct in-process CDCL path
+    #: (docs/SOLVER.md).
+    backend: Optional[str] = None
+    #: Race several named backends per query and take the first definitive
+    #: answer (ties break by order; unavailable members are dropped).
+    #: Mutually exclusive with ``backend``.
+    portfolio: Sequence[str] = ()
 
     def describe(self) -> str:
         """Render the active configuration for reports and logs.
@@ -159,7 +167,9 @@ class StackChecker:
         engine = QueryEngine(encoder, timeout=self.config.solver_timeout,
                              max_conflicts=self.config.max_conflicts,
                              cache=self.query_cache,
-                             incremental=self.config.incremental)
+                             incremental=self.config.incremental,
+                             backend=self.config.backend,
+                             portfolio=self.config.portfolio)
         result = FunctionReport(function=function.name)
 
         elimination_findings: List[EliminationFinding] = []
@@ -255,6 +265,9 @@ class StackChecker:
         result.restarts = solver_stats.restarts
         result.blasted_clauses = solver_stats.blasted_clauses
         result.solver_time = solver_stats.total_time
+        result.oracle_sat = solver_stats.oracle_sat
+        result.oracle_unsat = solver_stats.oracle_unsat
+        result.backend_wins = dict(solver_stats.backend_wins)
         result.analysis_time = time.monotonic() - started
         return result
 

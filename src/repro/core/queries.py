@@ -148,7 +148,9 @@ class QueryContext:
             elapsed = solver.stats.total_time - before
         else:
             solver = Solver(engine.encoder.manager, timeout=engine.timeout,
-                            max_conflicts=engine.max_conflicts)
+                            max_conflicts=engine.max_conflicts,
+                            backend=engine.backend,
+                            portfolio=engine.portfolio)
             for term in goal:
                 solver.add(term)
             result = solver.check()
@@ -179,12 +181,16 @@ class QueryEngine:
     def __init__(self, encoder: FunctionEncoder, timeout: Optional[float] = 5.0,
                  max_conflicts: Optional[int] = 50_000,
                  cache: Optional["SolverQueryCache"] = None,
-                 incremental: bool = True) -> None:
+                 incremental: bool = True,
+                 backend: Optional[str] = None,
+                 portfolio: Sequence[str] = ()) -> None:
         self.encoder = encoder
         self.timeout = timeout
         self.max_conflicts = max_conflicts
         self.cache = cache
         self.incremental = incremental
+        self.backend = backend
+        self.portfolio = tuple(portfolio)
         self.stats = QueryStats()
         self._shared_solver: Optional[Solver] = None
         self._scratch_stats = SolverStats()
@@ -217,7 +223,9 @@ class QueryEngine:
             self._shared_solver = Solver(self.encoder.manager,
                                          timeout=self.timeout,
                                          max_conflicts=self.max_conflicts,
-                                         incremental=True)
+                                         incremental=True,
+                                         backend=self.backend,
+                                         portfolio=self.portfolio)
         return self._shared_solver
 
     @property

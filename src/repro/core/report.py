@@ -130,6 +130,10 @@ class FunctionReport:
     restarts: int = 0                       # CDCL restarts across those calls
     blasted_clauses: int = 0                # CNF clauses produced by bit-blasting
     solver_time: float = 0.0                # seconds spent inside the solver
+    oracle_sat: int = 0                     # queries the oracle pre-pass decided SAT
+    oracle_unsat: int = 0                   # queries constant folding decided UNSAT
+    #: Definitive answers credited per backend name (backend mode only).
+    backend_wins: Dict[str, int] = field(default_factory=dict)
     # Stage-5 witness validation counters (repro.exec.witness / docs/EXEC.md):
     witnesses_confirmed: int = 0            # replay trips the reported UB
     witnesses_unconfirmed: int = 0          # probable false positive
@@ -205,6 +209,22 @@ class BugReport:
     @property
     def solver_time(self) -> float:
         return sum(f.solver_time for f in self.functions)
+
+    @property
+    def oracle_sat(self) -> int:
+        return sum(f.oracle_sat for f in self.functions)
+
+    @property
+    def oracle_unsat(self) -> int:
+        return sum(f.oracle_unsat for f in self.functions)
+
+    @property
+    def backend_wins(self) -> Dict[str, int]:
+        wins: Dict[str, int] = {}
+        for report in self.functions:
+            for name, count in report.backend_wins.items():
+                wins[name] = wins.get(name, 0) + count
+        return wins
 
     @property
     def analysis_time(self) -> float:
@@ -289,6 +309,10 @@ class BugReport:
                      f"{self.restarts} restarts, "
                      f"{self.blasted_clauses} bit-blasted clauses, "
                      f"{self.solver_time:.2f}s in the solver")
+        if self.backend_wins:
+            wins = ", ".join(f"{name}={count}" for name, count
+                             in sorted(self.backend_wins.items()))
+            lines.append(f"backend wins: {wins}")
         if self.witnesses_validated:
             lines.append(f"witness validation: {self.witnesses_confirmed} "
                          f"confirmed, {self.witnesses_unconfirmed} unconfirmed, "

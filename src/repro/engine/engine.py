@@ -81,6 +81,10 @@ class RunStats:
     restarts: int = 0
     blasted_clauses: int = 0
     solver_time: float = 0.0
+    oracle_sat: int = 0                  # queries the oracle pre-pass decided SAT
+    oracle_unsat: int = 0                # queries constant folding decided UNSAT
+    #: Definitive answers credited per backend name (backend mode only).
+    backend_wins: Dict[str, int] = field(default_factory=dict)
     # Stage-5 witness validation totals (repro.exec.witness / docs/EXEC.md):
     witnesses_confirmed: int = 0
     witnesses_unconfirmed: int = 0
@@ -116,6 +120,11 @@ class RunStats:
             if stats_field.name == "workers":
                 self.workers = max(self.workers, other.workers)
                 continue
+            if stats_field.name == "backend_wins":
+                for name, wins in other.backend_wins.items():
+                    self.backend_wins[name] = \
+                        self.backend_wins.get(name, 0) + wins
+                continue
             setattr(self, stats_field.name,
                     getattr(self, stats_field.name) +
                     getattr(other, stats_field.name))
@@ -134,6 +143,9 @@ class RunStats:
                 "restarts": self.restarts,
                 "blasted_clauses": self.blasted_clauses,
                 "solver_time": round(self.solver_time, 6),
+                "oracle_sat": self.oracle_sat,
+                "oracle_unsat": self.oracle_unsat,
+                "backend_wins": dict(sorted(self.backend_wins.items())),
             },
             "witnesses": {
                 "confirmed": self.witnesses_confirmed,
@@ -452,6 +464,11 @@ class CheckEngine:
             stats.restarts += report.restarts
             stats.blasted_clauses += report.blasted_clauses
             stats.solver_time += report.solver_time
+            stats.oracle_sat += report.oracle_sat
+            stats.oracle_unsat += report.oracle_unsat
+            for name, wins in report.backend_wins.items():
+                stats.backend_wins[name] = \
+                    stats.backend_wins.get(name, 0) + wins
             stats.witnesses_confirmed += report.witnesses_confirmed
             stats.witnesses_unconfirmed += report.witnesses_unconfirmed
             stats.witnesses_inconclusive += report.witnesses_inconclusive

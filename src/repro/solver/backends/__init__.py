@@ -1,0 +1,96 @@
+"""Pluggable SAT backends and the portfolio racer.
+
+The registry maps backend names to classes; :func:`available_backends`
+filters it down to what the current environment can actually run (the
+``pysat`` entry needs the python-sat package, ``dimacs`` needs a solver
+command in ``REPRO_SAT_BINARY``).  The :class:`~repro.solver.solver.Solver`
+facade resolves names through :func:`create_backend` and races multiple
+backends with :class:`PortfolioSolver`.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Type
+
+from repro.solver.backends.base import BackendAnswer, SolverBackend
+from repro.solver.backends.builtin import BuiltinBackend
+from repro.solver.backends.dimacs import SAT_BINARY_ENV, DimacsBackend
+from repro.solver.backends.oracle import (GUESS_PATTERNS, MAX_GUESS_VARIABLES,
+                                          OracleAnswer, constant_answer,
+                                          evaluation_answer, preanswer)
+from repro.solver.backends.portfolio import (BackendDisagreement,
+                                             PortfolioAnswer, PortfolioSolver)
+from repro.solver.backends.pysat_backend import PysatBackend
+
+#: Name → class registry, in default preference order.
+BACKENDS: Dict[str, Type[SolverBackend]] = {
+    "builtin": BuiltinBackend,
+    "pysat": PysatBackend,
+    "dimacs": DimacsBackend,
+}
+
+
+def available_backends() -> List[str]:
+    """Names of the backends the current environment can instantiate."""
+    return [name for name, cls in BACKENDS.items() if cls.available()]
+
+
+def create_backend(name: str, **kwargs) -> SolverBackend:
+    """Instantiate a backend by registry name.
+
+    Raises :class:`ValueError` for names not in the registry and
+    :class:`RuntimeError` when the named backend exists but cannot run
+    here (missing package / unset environment).
+    """
+    try:
+        cls = BACKENDS[name]
+    except KeyError:
+        known = ", ".join(sorted(BACKENDS))
+        raise ValueError(f"unknown solver backend {name!r} (known: {known})")
+    return cls(**kwargs)
+
+
+def resolve_portfolio(names: Sequence[str],
+                      strict: bool = False) -> List[str]:
+    """Filter a portfolio spec down to backends that can run here.
+
+    Unavailable members are dropped silently (``strict=False``, the
+    portfolio policy: racing degrades gracefully); with ``strict=True`` an
+    unavailable name raises, which is the single-``backend=`` policy.
+    Falls back to ``["builtin"]`` when nothing in the spec is available.
+    """
+    resolved: List[str] = []
+    for name in names:
+        if name not in BACKENDS:
+            known = ", ".join(sorted(BACKENDS))
+            raise ValueError(
+                f"unknown solver backend {name!r} (known: {known})")
+        if BACKENDS[name].available():
+            resolved.append(name)
+        elif strict:
+            raise RuntimeError(f"solver backend {name!r} is not available "
+                               "in this environment")
+    return resolved or ["builtin"]
+
+
+__all__ = [
+    "BACKENDS",
+    "BackendAnswer",
+    "BackendDisagreement",
+    "BuiltinBackend",
+    "DimacsBackend",
+    "GUESS_PATTERNS",
+    "MAX_GUESS_VARIABLES",
+    "OracleAnswer",
+    "PortfolioAnswer",
+    "PortfolioSolver",
+    "PysatBackend",
+    "SAT_BINARY_ENV",
+    "SolverBackend",
+    "available_backends",
+    "constant_answer",
+    "create_backend",
+    "evaluation_answer",
+    "preanswer",
+    "resolve_portfolio",
+]

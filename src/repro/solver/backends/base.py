@@ -1,0 +1,98 @@
+"""The pluggable SAT-backend contract.
+
+A :class:`SolverBackend` decides one bit-blasted CNF query: the facade
+(:class:`repro.solver.solver.Solver`) owns terms, simplification, the oracle
+pre-answer stage, and bit-blasting; a backend only ever sees DIMACS-style
+integer literals.  The contract is deliberately small so that radically
+different engines fit behind it — the in-process CDCL solver, CaDiCaL via
+``python-sat``, or any DIMACS-speaking binary reached over a pipe:
+
+* **clauses** arrive incrementally via :meth:`add_clauses` (append-only; the
+  facade never retracts — retired assertions are guarded by activation
+  literals exactly as in the builtin incremental mode),
+* **assume** — :meth:`solve` takes per-call assumption literals,
+* **budget** — per-call ``max_conflicts`` and wall-clock ``timeout``; a
+  backend that cannot honor a budget kind treats it as unlimited (the
+  answer is still sound, just possibly more expensive),
+* **stats** — every answer carries a plain-int counter dict so per-backend
+  work lands in :class:`~repro.solver.solver.SolverStats` and the JSONL
+  sink.
+
+Verdict identity is the hard contract: for the same clause set and
+assumptions, every backend must return the same SAT/UNSAT status (UNKNOWN
+is always permitted under an exhausted budget).  Models may differ between
+backends — any satisfying assignment is acceptable — and failure
+attribution is *not* part of the backend contract: the facade blames every
+per-call term on UNSAT (the coarse, backend-independent rule documented in
+``docs/SOLVER.md``), so ``failed_assumptions()`` is byte-identical across
+backends by construction.  ``BackendAnswer.failed`` exists for diagnostics
+only.
+"""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+from repro.solver.sat import SatResult
+
+
+@dataclass
+class BackendAnswer:
+    """One backend's answer to one solve call."""
+
+    result: SatResult
+    #: Variable assignment (var -> bool) when SAT; unset variables default
+    #: to False at model-extraction time.  None for UNSAT/UNKNOWN.
+    model: Optional[Dict[int, bool]] = None
+    #: Assumption literals the backend attributes an UNSAT answer to, when
+    #: it can tell (diagnostic only — not part of the verdict contract).
+    failed: Optional[List[int]] = None
+    #: Backend-specific work counters (conflicts, decisions, ...).
+    stats: Dict[str, int] = field(default_factory=dict)
+
+    def model_value(self, var: int) -> bool:
+        """Model accessor mirroring :meth:`SatSolver.model_value`."""
+        if self.model is None:
+            return False
+        return bool(self.model.get(var, False))
+
+
+class SolverBackend(abc.ABC):
+    """Abstract SAT backend: append clauses, solve under assumptions."""
+
+    #: Registry/report name ("builtin", "pysat", "dimacs", ...).
+    name: str = "?"
+
+    @classmethod
+    def available(cls) -> bool:
+        """Whether this backend can run in the current environment."""
+        return True
+
+    @abc.abstractmethod
+    def ensure_vars(self, num_vars: int) -> None:
+        """Make variables ``1..num_vars`` known to the backend."""
+
+    @abc.abstractmethod
+    def add_clauses(self, clauses: Sequence[Sequence[int]]) -> None:
+        """Append clauses (DIMACS literals) to the backend's database."""
+
+    @abc.abstractmethod
+    def solve(self, assumptions: Sequence[int] = (),
+              max_conflicts: Optional[int] = None,
+              timeout: Optional[float] = None) -> BackendAnswer:
+        """Decide the clause database under per-call assumptions/budgets."""
+
+    def interrupt(self) -> None:
+        """Best-effort cancellation of an in-flight :meth:`solve`.
+
+        Called from another thread when a portfolio race has a definitive
+        answer; a backend that cannot be interrupted simply finishes.
+        """
+
+    def close(self) -> None:
+        """Release external resources (processes, native solver handles)."""
+
+    def __repr__(self) -> str:
+        return f"<{type(self).__name__} {self.name}>"

@@ -1,0 +1,67 @@
+"""The builtin backend: the in-process CDCL solver behind the contract.
+
+Two construction modes:
+
+* ``BuiltinBackend()`` owns a fresh :class:`~repro.solver.sat.SatSolver`
+  and consumes the clause stream via :meth:`add_clauses` like any other
+  backend (how portfolio tests and standalone races use it).
+* ``BuiltinBackend(sat=solver)`` wraps an *externally fed* solver — the
+  facade's own SAT instance, which already receives every clause directly
+  through its :class:`~repro.solver.cnf.CnfBuilder`.  ``add_clauses`` is a
+  no-op then, so the shared clause stream is not applied twice.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Optional, Sequence
+
+from repro.solver.backends.base import BackendAnswer, SolverBackend
+from repro.solver.sat import SatResult, SatSolver
+
+
+class BuiltinBackend(SolverBackend):
+    """Adapter around the dependency-free incremental CDCL solver."""
+
+    name = "builtin"
+
+    def __init__(self, sat: Optional[SatSolver] = None) -> None:
+        self._external = sat is not None
+        self.sat = sat if sat is not None else SatSolver()
+        self._stop = threading.Event()
+
+    def ensure_vars(self, num_vars: int) -> None:
+        while self.sat.num_vars < num_vars:
+            self.sat.new_var()
+
+    def add_clauses(self, clauses: Sequence[Sequence[int]]) -> None:
+        if self._external:
+            return  # the wrapped solver is fed directly by its CnfBuilder
+        for clause in clauses:
+            self.sat.add_clause(list(clause))
+
+    def solve(self, assumptions: Sequence[int] = (),
+              max_conflicts: Optional[int] = None,
+              timeout: Optional[float] = None) -> BackendAnswer:
+        self._stop.clear()
+        sat = self.sat
+        conflicts0, decisions0 = sat.conflicts, sat.decisions
+        propagations0, restarts0 = sat.propagations, sat.restarts
+        result = sat.solve(assumptions=list(assumptions),
+                           max_conflicts=max_conflicts, timeout=timeout,
+                           stop=self._stop)
+        stats = {
+            "conflicts": sat.conflicts - conflicts0,
+            "decisions": sat.decisions - decisions0,
+            "propagations": sat.propagations - propagations0,
+            "restarts": sat.restarts - restarts0,
+        }
+        model = sat.model() if result is SatResult.SAT else None
+        failed = None
+        if result is SatResult.UNSAT and sat.failed_assumption is not None:
+            failed = [sat.failed_assumption]
+        return BackendAnswer(result=result, model=model, failed=failed,
+                             stats=stats)
+
+    def interrupt(self) -> None:
+        self._stop.set()

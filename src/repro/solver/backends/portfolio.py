@@ -1,0 +1,154 @@
+"""Racing several SAT backends on one query.
+
+A :class:`PortfolioSolver` owns an ordered list of backends that all see
+the same clause stream (:meth:`feed` keeps a cursor into the facade's
+recorded CNF so each clause is delivered exactly once).  :meth:`solve`
+races them on a thread pool: the first *definitive* answer (SAT or UNSAT)
+wins, the losers are interrupted, and ties are broken deterministically by
+configured backend order — so the winning backend, the chosen model, and
+the per-backend win counters do not depend on thread scheduling whenever
+more than one backend finishes.  UNKNOWN is returned only when every
+backend exhausted its budget.
+
+Definitive answers that *disagree* raise :class:`BackendDisagreement`
+instead of picking one — verdict identity across backends is the solver
+contract, and a divergence is a soundness bug that must never be papered
+over.
+
+With a single member the race degenerates to a plain in-thread call, which
+is how ``Solver(backend="pysat")`` runs.
+"""
+
+from __future__ import annotations
+
+import concurrent.futures
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+from repro.solver.backends.base import BackendAnswer, SolverBackend
+from repro.solver.sat import SatResult
+
+_DEFINITIVE = (SatResult.SAT, SatResult.UNSAT)
+
+
+class BackendDisagreement(RuntimeError):
+    """Two backends returned contradicting definitive verdicts."""
+
+
+@dataclass
+class PortfolioAnswer:
+    """The merged outcome of one portfolio race."""
+
+    result: SatResult
+    #: The winning backend's answer (model access); None when UNKNOWN.
+    answer: Optional[BackendAnswer]
+    #: Name of the winning backend; None when every backend was UNKNOWN.
+    winner: Optional[str]
+    #: Every backend's verdict, by name, for stats and diagnostics.
+    verdicts: Dict[str, str] = field(default_factory=dict)
+
+    def model_value(self, var: int) -> bool:
+        return self.answer.model_value(var) if self.answer is not None else False
+
+
+class PortfolioSolver:
+    """Feeds one clause stream to N backends and races them per query."""
+
+    def __init__(self, members: Sequence[SolverBackend]) -> None:
+        if not members:
+            raise ValueError("a portfolio needs at least one backend")
+        self.members: List[SolverBackend] = list(members)
+        self._fed = 0
+
+    @property
+    def names(self) -> List[str]:
+        return [member.name for member in self.members]
+
+    def feed(self, num_vars: int,
+             clauses: Sequence[Sequence[int]]) -> None:
+        """Deliver clauses appended since the last feed to every member."""
+        new = clauses[self._fed:]
+        for member in self.members:
+            member.ensure_vars(num_vars)
+            if new:
+                member.add_clauses(new)
+        self._fed = len(clauses)
+
+    def solve(self, assumptions: Sequence[int] = (),
+              max_conflicts: Optional[int] = None,
+              timeout: Optional[float] = None) -> PortfolioAnswer:
+        if len(self.members) == 1:
+            member = self.members[0]
+            answer = member.solve(assumptions, max_conflicts=max_conflicts,
+                                  timeout=timeout)
+            return self._merge([(member, answer)])
+
+        with concurrent.futures.ThreadPoolExecutor(
+                max_workers=len(self.members),
+                thread_name_prefix="repro-portfolio") as pool:
+            futures = {
+                pool.submit(member.solve, list(assumptions),
+                            max_conflicts=max_conflicts, timeout=timeout): member
+                for member in self.members}
+            pending = set(futures)
+            interrupted = False
+            while pending:
+                done, pending = concurrent.futures.wait(
+                    pending, return_when=concurrent.futures.FIRST_COMPLETED)
+                if interrupted:
+                    continue
+                for future in done:
+                    answer = self._outcome(future)
+                    if answer is not None and answer.result in _DEFINITIVE:
+                        # Cancel the losers; keep draining so every member
+                        # lands in a reusable state before we return.
+                        for other in pending:
+                            futures[other].interrupt()
+                        interrupted = True
+                        break
+
+        outcomes = []
+        for member in self.members:          # configured order == tie-break
+            future = next(f for f, m in futures.items() if m is member)
+            outcomes.append((member, self._outcome(future)))
+        return self._merge(outcomes)
+
+    def interrupt(self) -> None:
+        for member in self.members:
+            member.interrupt()
+
+    def close(self) -> None:
+        for member in self.members:
+            member.close()
+
+    # -- helpers -----------------------------------------------------------------
+
+    @staticmethod
+    def _outcome(future) -> Optional[BackendAnswer]:
+        """A member's answer; a crashed backend counts as no answer."""
+        exc = future.exception()
+        if exc is not None:
+            return None
+        return future.result()
+
+    def _merge(self, outcomes) -> PortfolioAnswer:
+        verdicts: Dict[str, str] = {}
+        winner = None
+        winning: Optional[BackendAnswer] = None
+        for member, answer in outcomes:
+            verdicts[member.name] = "error" if answer is None \
+                else answer.result.value
+            if answer is None or answer.result not in _DEFINITIVE:
+                continue
+            if winning is None:
+                winner, winning = member.name, answer
+            elif winning.result is not answer.result:
+                raise BackendDisagreement(
+                    f"backends disagree: {winner} says "
+                    f"{winning.result.value}, {member.name} says "
+                    f"{answer.result.value}")
+        if winning is None:
+            return PortfolioAnswer(result=SatResult.UNKNOWN, answer=None,
+                                   winner=None, verdicts=verdicts)
+        return PortfolioAnswer(result=winning.result, answer=winning,
+                               winner=winner, verdicts=verdicts)

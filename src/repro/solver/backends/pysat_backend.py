@@ -1,0 +1,141 @@
+"""CaDiCaL (and friends) via ``python-sat``, behind the backend contract.
+
+The import is optional: :meth:`PysatBackend.available` answers False on a
+stock install and the registry simply skips the backend, so tier-1 stays
+dependency-free.  When ``python-sat`` is present the backend keeps one
+native solver alive for the facade's lifetime and feeds it the recorded
+clause stream incrementally — CaDiCaL's own incremental interface does the
+rest (assumptions, learned-clause retention).
+
+Budgets: ``max_conflicts`` maps to ``conf_budget``/``solve_limited`` where
+the chosen engine supports limited solving, and ``timeout`` is enforced
+with a timer that calls ``interrupt()``.  Engines without those hooks fall
+back to an unbounded ``solve`` — sound, just not budgeted.
+
+``REPRO_PYSAT_SOLVER`` selects the engine name (default ``cadical195``,
+the ZK-ARCKIT-style bootstrap choice).
+"""
+
+from __future__ import annotations
+
+import importlib.util
+import os
+import threading
+from typing import Optional, Sequence
+
+from repro.solver.backends.base import BackendAnswer, SolverBackend
+from repro.solver.sat import SatResult
+
+#: Environment variable naming the pysat engine to instantiate.
+PYSAT_SOLVER_ENV = "REPRO_PYSAT_SOLVER"
+DEFAULT_PYSAT_SOLVER = "cadical195"
+
+
+class PysatBackend(SolverBackend):
+    """Adapter around a ``pysat.solvers.Solver`` instance."""
+
+    name = "pysat"
+
+    def __init__(self, solver_name: Optional[str] = None) -> None:
+        if not self.available():
+            raise RuntimeError(
+                "the 'pysat' backend requires the python-sat package "
+                "(pip install python-sat)")
+        from pysat.solvers import Solver as _PysatSolver
+
+        self.solver_name = solver_name or os.environ.get(
+            PYSAT_SOLVER_ENV, DEFAULT_PYSAT_SOLVER)
+        self._solver = _PysatSolver(name=self.solver_name)
+        self._num_vars = 0
+        self._interrupted = threading.Event()
+
+    @classmethod
+    def available(cls) -> bool:
+        return importlib.util.find_spec("pysat") is not None
+
+    # -- contract ----------------------------------------------------------------
+
+    def ensure_vars(self, num_vars: int) -> None:
+        self._num_vars = max(self._num_vars, num_vars)
+
+    def add_clauses(self, clauses: Sequence[Sequence[int]]) -> None:
+        for clause in clauses:
+            self._solver.add_clause(list(clause))
+
+    def solve(self, assumptions: Sequence[int] = (),
+              max_conflicts: Optional[int] = None,
+              timeout: Optional[float] = None) -> BackendAnswer:
+        solver = self._solver
+        self._interrupted.clear()
+        stats0 = self._accum_stats()
+
+        timer: Optional[threading.Timer] = None
+        limited = max_conflicts is not None or timeout is not None
+        if limited and timeout is not None:
+            timer = threading.Timer(timeout, self.interrupt)
+            timer.daemon = True
+
+        try:
+            if limited:
+                try:
+                    if max_conflicts is not None:
+                        solver.conf_budget(int(max_conflicts))
+                    if timer is not None:
+                        timer.start()
+                    status = solver.solve_limited(
+                        assumptions=list(assumptions), expect_interrupt=True)
+                except NotImplementedError:
+                    # This engine has no limited solving; run unbounded.
+                    status = solver.solve(assumptions=list(assumptions))
+            else:
+                status = solver.solve(assumptions=list(assumptions))
+        finally:
+            if timer is not None:
+                timer.cancel()
+            if self._interrupted.is_set():
+                try:
+                    solver.clear_interrupt()
+                except NotImplementedError:
+                    pass
+
+        stats = self._stats_delta(stats0)
+        if status is True:
+            model = {abs(lit): lit > 0 for lit in (solver.get_model() or [])}
+            return BackendAnswer(result=SatResult.SAT, model=model,
+                                 stats=stats)
+        if status is False:
+            core = None
+            if assumptions:
+                try:
+                    raw = solver.get_core()
+                except NotImplementedError:
+                    raw = None
+                core = list(raw) if raw else None
+            return BackendAnswer(result=SatResult.UNSAT, failed=core,
+                                 stats=stats)
+        return BackendAnswer(result=SatResult.UNKNOWN, stats=stats)
+
+    def interrupt(self) -> None:
+        self._interrupted.set()
+        try:
+            self._solver.interrupt()
+        except NotImplementedError:
+            pass
+
+    def close(self) -> None:
+        self._solver.delete()
+
+    # -- stats helpers -----------------------------------------------------------
+
+    def _accum_stats(self) -> dict:
+        try:
+            stats = self._solver.accum_stats()
+        except NotImplementedError:
+            return {}
+        return dict(stats) if stats else {}
+
+    def _stats_delta(self, before: dict) -> dict:
+        after = self._accum_stats()
+        keys = ("conflicts", "decisions", "propagations", "restarts")
+        return {key: int(after.get(key, 0)) - int(before.get(key, 0))
+                for key in keys if key in after}

@@ -1,0 +1,71 @@
+"""Reference DIMACS solver CLI: ``python -m repro.solver.backends.selfsolve``.
+
+Reads one DIMACS CNF file (or stdin when the argument is ``-``), decides it
+with the builtin CDCL solver, and speaks SAT-competition output — an
+``s`` status line, ``v`` model lines, exit code 10/20.  Two jobs:
+
+* a real, dependency-free target for the ``dimacs`` backend — pointing
+  ``REPRO_SAT_BINARY`` at this module exercises the whole subprocess path
+  (emit → parse → solve → model read-back) on any machine, which is how
+  the differential suite covers the backend without a native solver;
+* a template for wiring an actual binary: anything that produces the same
+  four lines of protocol drops in unchanged.
+"""
+
+from __future__ import annotations
+
+import sys
+from typing import List, Optional
+
+from repro.solver.cnf import parse_dimacs
+from repro.solver.sat import SatResult, SatSolver
+
+
+def solve_dimacs_text(text: str) -> "tuple[SatResult, List[int]]":
+    """Solve DIMACS text; return (status, signed model literals)."""
+    num_vars, clauses = parse_dimacs(text)
+    solver = SatSolver()
+    for _ in range(num_vars):
+        solver.new_var()
+    for clause in clauses:
+        solver.add_clause(clause)
+    result = solver.solve()
+    model: List[int] = []
+    if result is SatResult.SAT:
+        model = [var if solver.model_value(var) else -var
+                 for var in range(1, num_vars + 1)]
+    return result, model
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    argv = sys.argv[1:] if argv is None else argv
+    if len(argv) != 1:
+        print("usage: python -m repro.solver.backends.selfsolve FILE.cnf",
+              file=sys.stderr)
+        return 1
+    if argv[0] == "-":
+        text = sys.stdin.read()
+    else:
+        with open(argv[0], "r", encoding="utf-8") as handle:
+            text = handle.read()
+
+    result, model = solve_dimacs_text(text)
+    if result is SatResult.SAT:
+        print("s SATISFIABLE")
+        # Model literals in chunks, each v-line 0-terminated on the last.
+        for start in range(0, len(model), 16):
+            chunk = model[start:start + 16]
+            tail = " 0" if start + 16 >= len(model) else ""
+            print("v " + " ".join(str(lit) for lit in chunk) + tail)
+        if not model:
+            print("v 0")
+        return 10
+    if result is SatResult.UNSAT:
+        print("s UNSATISFIABLE")
+        return 20
+    print("s UNKNOWN")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

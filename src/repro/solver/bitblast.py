@@ -80,10 +80,13 @@ class BitBlaster:
         return self._var_bool[name]
 
     def known_bv_variables(self) -> Dict[str, List[int]]:
-        return dict(self._var_bits)
+        # Name-sorted so model extraction and exported variable maps are
+        # stable regardless of the order in which terms were encoded —
+        # required for byte-comparable cross-backend/cross-run output.
+        return {name: self._var_bits[name] for name in sorted(self._var_bits)}
 
     def known_bool_variables(self) -> Dict[str, int]:
-        return dict(self._var_bool)
+        return {name: self._var_bool[name] for name in sorted(self._var_bool)}
 
     # -- boolean nodes -----------------------------------------------------------
 

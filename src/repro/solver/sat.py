@@ -28,6 +28,7 @@ install.
 from __future__ import annotations
 
 import enum
+import threading
 import time
 from typing import Dict, Iterable, List, Optional, Sequence
 
@@ -343,11 +344,16 @@ class SatSolver:
         assumptions: Sequence[int] = (),
         max_conflicts: Optional[int] = None,
         timeout: Optional[float] = None,
+        stop: Optional["threading.Event"] = None,
     ) -> SatResult:
         """Decide satisfiability under optional assumptions and budgets.
 
         ``max_conflicts`` and ``timeout`` are budgets for *this call*; the
         cumulative ``conflicts`` counter keeps growing across calls.
+        ``stop`` is an optional :class:`threading.Event`: setting it from
+        another thread makes the loop return UNKNOWN at the next decision
+        point with the solver left reusable — how a portfolio race cancels
+        a losing backend.
         """
         self.failed_assumption = None
         if not self.ok:
@@ -389,6 +395,9 @@ class SatSolver:
                 continue
 
             if deadline is not None and time.monotonic() > deadline:
+                self._cancel_until(0)
+                return SatResult.UNKNOWN
+            if stop is not None and stop.is_set():
                 self._cancel_until(0)
                 return SatResult.UNKNOWN
             if max_conflicts is not None and \

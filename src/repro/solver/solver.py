@@ -21,8 +21,19 @@ Two operating modes exist:
   one candidate into one context.
 
 Both modes share the same pre-pass: the asserted conjunction is structurally
-simplified (deciding many queries outright) and a handful of concrete
-assignments are tried before any bit-blasting happens.
+simplified (deciding many queries outright) and the oracle chain
+(:mod:`repro.solver.backends.oracle`) tries a handful of concrete
+assignments before any bit-blasting happens.
+
+Queries that survive the pre-pass are decided either by the in-process CDCL
+engine directly (``backend=None``, the default) or by the pluggable backend
+layer (:mod:`repro.solver.backends`): ``backend="pysat"`` routes every query
+through one named backend, ``portfolio=("builtin", "pysat")`` races several
+on the same bit-blasted CNF and takes the first definitive answer.  Backends
+must agree on verdicts — models may differ (any satisfying assignment is
+acceptable), and failed-assumption attribution in backend mode is uniformly
+coarse (every per-call term is blamed), keeping diagnostics byte-identical
+across backends.
 """
 
 from __future__ import annotations
@@ -32,6 +43,9 @@ import time
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Tuple
 
+from repro.solver.backends import (BuiltinBackend, PortfolioAnswer,
+                                   PortfolioSolver, create_backend, preanswer,
+                                   resolve_portfolio)
 from repro.solver.bitblast import BitBlaster
 from repro.solver.cnf import CnfBuilder
 from repro.solver.sat import SatResult, SatSolver
@@ -63,6 +77,11 @@ class SolverStats:
     unknown: int = 0
     decided_by_simplification: int = 0
     total_time: float = 0.0
+
+    oracle_sat: int = 0           # queries decided SAT by the oracle pre-pass
+    oracle_unsat: int = 0         # queries decided UNSAT by constant folding
+    #: Definitive answers credited per backend name (backend mode only).
+    backend_wins: Dict[str, int] = field(default_factory=dict)
 
     sat_calls: int = 0            # queries that reached the CDCL loop
     restarts: int = 0             # CDCL restarts across those calls
@@ -101,6 +120,10 @@ class SolverStats:
         self.blasted_clauses += other.blasted_clauses
         self.blast_hits += other.blast_hits
         self.assumption_failures += other.assumption_failures
+        self.oracle_sat += other.oracle_sat
+        self.oracle_unsat += other.oracle_unsat
+        for name, wins in other.backend_wins.items():
+            self.backend_wins[name] = self.backend_wins.get(name, 0) + wins
 
     def as_dict(self) -> Dict[str, object]:
         """Plain-JSON view used by the engine's result sink."""
@@ -115,6 +138,9 @@ class SolverStats:
             "blasted_clauses": self.blasted_clauses,
             "blast_hits": self.blast_hits,
             "assumption_failures": self.assumption_failures,
+            "oracle_sat": self.oracle_sat,
+            "oracle_unsat": self.oracle_unsat,
+            "backend_wins": dict(sorted(self.backend_wins.items())),
         }
 
 
@@ -176,6 +202,16 @@ class Solver:
         are retained, bit-blasted encodings are memoized per hash-consed
         term id, and push/pop is implemented with activation literals.  A
         budget-exhausted (UNKNOWN) query leaves the solver reusable.
+    backend:
+        Route queries through one named backend from
+        :data:`repro.solver.backends.BACKENDS` ("builtin", "pysat",
+        "dimacs").  Naming an unavailable backend raises.  ``None`` (the
+        default) keeps the direct in-process CDCL path.
+    portfolio:
+        Race several named backends per query; the first definitive
+        SAT/UNSAT answer wins, ties break by configured order.  Unavailable
+        members are dropped silently (falling back to "builtin" when none
+        remain).  Mutually exclusive with ``backend``.
     """
 
     def __init__(
@@ -184,7 +220,11 @@ class Solver:
         timeout: Optional[float] = 5.0,
         max_conflicts: Optional[int] = 200_000,
         incremental: bool = False,
+        backend: Optional[str] = None,
+        portfolio: Sequence[str] = (),
     ) -> None:
+        if backend is not None and portfolio:
+            raise ValueError("pass either backend= or portfolio=, not both")
         self.manager = manager if manager is not None else TermManager()
         self.timeout = timeout
         self.max_conflicts = max_conflicts
@@ -193,11 +233,23 @@ class Solver:
         self._frames: List[_Frame] = [_Frame()]
         self._last_model: Optional[Model] = None
         self._failed_assumptions: List[Term] = []
+        # Backend routing: None means the legacy direct-CDCL paths.
+        self._backend_names: Optional[List[str]] = None
+        if portfolio:
+            self._backend_names = resolve_portfolio(portfolio)
+        elif backend is not None:
+            self._backend_names = resolve_portfolio([backend], strict=True)
         # Persistent engines (incremental mode), created on first use.
         self._sat: Optional[SatSolver] = None
         self._cnf: Optional[CnfBuilder] = None
         self._blaster: Optional[BitBlaster] = None
+        self._portfolio: Optional[PortfolioSolver] = None
         self._simplified: Dict[int, Term] = {}
+
+    @property
+    def backend_names(self) -> Optional[List[str]]:
+        """Resolved backend order, or None in legacy direct mode."""
+        return list(self._backend_names) if self._backend_names else None
 
     # -- assertion stack --------------------------------------------------------
 
@@ -250,6 +302,9 @@ class Solver:
         self._sat = None
         self._cnf = None
         self._blaster = None
+        if self._portfolio is not None:
+            self._portfolio.close()
+        self._portfolio = None
         self._simplified = {}
 
     # -- checking ----------------------------------------------------------------
@@ -288,26 +343,35 @@ class Solver:
                 conjunction = mgr.and_(conjunction, t)
             conjunction = simplify(mgr, conjunction)
 
-        if conjunction.is_const():
-            result = CheckResult.SAT if conjunction.value else CheckResult.UNSAT
-            if result is CheckResult.SAT:
-                self._last_model = Model(self._default_model(terms))
-            else:
-                self._note_failure(deltas)
-            self.stats.record(result, time.monotonic() - start, simplified=True)
-            return result
-
-        # Cheap SAT pre-pass: try a handful of concrete assignments with the
-        # term evaluator before paying for bit-blasting.  Sound because a
-        # verified satisfying assignment is a model; never claims UNSAT.
-        guessed = self._guess_model(conjunction)
-        if guessed is not None:
-            self._last_model = guessed
-            self.stats.record(CheckResult.SAT, time.monotonic() - start,
+        # Oracle pre-pass: constant folding decides either way; the
+        # evaluation oracle tries a handful of concrete assignments with
+        # the term evaluator before paying for bit-blasting (sound because
+        # a verified satisfying assignment is a model; never claims UNSAT).
+        oracle = preanswer(mgr, conjunction)
+        if oracle is not None:
+            if oracle.verdict == "sat":
+                self.stats.oracle_sat += 1
+                if oracle.reason == "constant":
+                    self._last_model = Model(self._default_model(terms))
+                else:
+                    self._last_model = Model(oracle.assignment)
+                self.stats.record(CheckResult.SAT, time.monotonic() - start,
+                                  simplified=True)
+                return CheckResult.SAT
+            self.stats.oracle_unsat += 1
+            self._note_failure(deltas)
+            self.stats.record(CheckResult.UNSAT, time.monotonic() - start,
                               simplified=True)
-            return CheckResult.SAT
+            return CheckResult.UNSAT
 
-        if self.incremental:
+        if self._backend_names is not None:
+            if self.incremental:
+                result = self._check_backend_incremental(
+                    deltas, effective_timeout, start)
+            else:
+                result = self._check_backend_scratch(
+                    conjunction, terms, deltas, effective_timeout, start)
+        elif self.incremental:
             result = self._check_incremental(deltas, effective_timeout, start)
         else:
             result = self._check_scratch(conjunction, terms, deltas,
@@ -351,7 +415,8 @@ class Solver:
         self._account_sat_work(sat, cnf, blaster, 0, 0, 0, 0, 0, 0)
 
         if sat_result is SatResult.SAT:
-            self._last_model = self._extract_model(sat, blaster, terms)
+            self._last_model = self._extract_model(sat.model_value, blaster,
+                                                   terms)
             return CheckResult.SAT
         if sat_result is SatResult.UNSAT:
             self._last_model = None
@@ -365,7 +430,10 @@ class Solver:
     def _ensure_engines(self) -> None:
         if self._sat is None:
             self._sat = SatSolver()
-            self._cnf = CnfBuilder(self._sat)
+            # Backend mode records the clause stream so external engines
+            # receive exactly the CNF the in-process solver saw.
+            self._cnf = CnfBuilder(self._sat,
+                                   record=self._backend_names is not None)
             self._blaster = BitBlaster(self._cnf)
 
     def _simplify_term(self, term: Term) -> Term:
@@ -414,8 +482,8 @@ class Solver:
                                decisions0, propagations0, clauses0, hits0)
 
         if sat_result is SatResult.SAT:
-            self._last_model = self._extract_model(sat, blaster,
-                                                   self.assertions() + list(deltas))
+            self._last_model = self._extract_model(
+                sat.model_value, blaster, self.assertions() + list(deltas))
             return CheckResult.SAT
         if sat_result is SatResult.UNSAT:
             self._last_model = None
@@ -436,6 +504,111 @@ class Solver:
             return CheckResult.UNSAT
         self._last_model = None
         return CheckResult.UNKNOWN
+
+    # -- backend mode --------------------------------------------------------------
+
+    def _make_portfolio(self, sat: SatSolver) -> PortfolioSolver:
+        """Instantiate the configured backends around a SAT instance.
+
+        The "builtin" member wraps ``sat`` directly — the CnfBuilder feeds
+        it clause by clause as they are produced, so the recorded stream is
+        not replayed into it; every other member consumes the recording via
+        :meth:`PortfolioSolver.feed`.
+        """
+        members = []
+        for name in self._backend_names:
+            if name == "builtin":
+                members.append(BuiltinBackend(sat=sat))
+            else:
+                members.append(create_backend(name))
+        return PortfolioSolver(members)
+
+    def _check_backend_scratch(self, conjunction: Term, terms: Sequence[Term],
+                               deltas: Sequence[Term],
+                               effective_timeout: Optional[float],
+                               start: float) -> CheckResult:
+        sat = SatSolver()
+        cnf = CnfBuilder(sat, record=True)
+        blaster = BitBlaster(cnf)
+        blaster.assert_term(conjunction)
+
+        portfolio = self._make_portfolio(sat)
+        try:
+            portfolio.feed(sat.num_vars, cnf.clauses)
+            remaining = None
+            if effective_timeout is not None:
+                remaining = max(0.0,
+                                effective_timeout - (time.monotonic() - start))
+            answer = portfolio.solve(max_conflicts=self.max_conflicts,
+                                     timeout=remaining)
+        finally:
+            portfolio.close()
+        self._account_backend_work(answer, cnf, blaster, 0, 0)
+        return self._apply_backend_answer(answer, blaster, terms, deltas)
+
+    def _check_backend_incremental(self, deltas: Sequence[Term],
+                                   effective_timeout: Optional[float],
+                                   start: float) -> CheckResult:
+        self._ensure_engines()
+        sat, cnf, blaster = self._sat, self._cnf, self._blaster
+        clauses0 = cnf.num_clauses
+        hits0 = blaster.cache_hits
+
+        self._encode_pending()
+        delta_lits = [blaster.blast_bool(self._simplify_term(term))
+                      for term in deltas]
+        assume = [frame.act for frame in self._frames if frame.act is not None]
+        assume.extend(delta_lits)
+
+        if self._portfolio is None:
+            self._portfolio = self._make_portfolio(sat)
+        # Deliver clauses appended since the last check (cursor-sliced), so
+        # persistent external members stay incremental too.
+        self._portfolio.feed(sat.num_vars, cnf.clauses)
+
+        remaining = None
+        if effective_timeout is not None:
+            remaining = max(0.0,
+                            effective_timeout - (time.monotonic() - start))
+        answer = self._portfolio.solve(assume,
+                                       max_conflicts=self.max_conflicts,
+                                       timeout=remaining)
+        self._account_backend_work(answer, cnf, blaster, clauses0, hits0)
+        return self._apply_backend_answer(answer, blaster,
+                                          self.assertions() + list(deltas),
+                                          deltas)
+
+    def _apply_backend_answer(self, answer: PortfolioAnswer,
+                              blaster: BitBlaster, terms: Sequence[Term],
+                              deltas: Sequence[Term]) -> CheckResult:
+        if answer.result is SatResult.SAT:
+            self._last_model = self._extract_model(answer.model_value,
+                                                   blaster, terms)
+            return CheckResult.SAT
+        if answer.result is SatResult.UNSAT:
+            self._last_model = None
+            # Uniform coarse attribution: every per-call term is blamed,
+            # independently of which backend answered and of any core it
+            # reported — the cross-backend identity contract.
+            self._note_failure(deltas)
+            return CheckResult.UNSAT
+        self._last_model = None
+        return CheckResult.UNKNOWN
+
+    def _account_backend_work(self, answer: PortfolioAnswer, cnf: CnfBuilder,
+                              blaster: BitBlaster, clauses0: int,
+                              hits0: int) -> None:
+        self.stats.sat_calls += 1
+        work = answer.answer.stats if answer.answer is not None else {}
+        self.stats.restarts += work.get("restarts", 0)
+        self.stats.conflicts += work.get("conflicts", 0)
+        self.stats.decisions += work.get("decisions", 0)
+        self.stats.propagations += work.get("propagations", 0)
+        self.stats.blasted_clauses += cnf.num_clauses - clauses0
+        self.stats.blast_hits += blaster.cache_hits - hits0
+        if answer.winner is not None:
+            self.stats.backend_wins[answer.winner] = \
+                self.stats.backend_wins.get(answer.winner, 0) + 1
 
     # -- stats / failure bookkeeping ---------------------------------------------
 
@@ -459,42 +632,6 @@ class Solver:
 
     # -- helpers -------------------------------------------------------------------
 
-    #: Seed patterns used by the model-guessing pre-pass, expressed as
-    #: functions of the variable width.
-    _GUESS_PATTERNS = (
-        lambda width: 0,
-        lambda width: 1,
-        lambda width: (1 << width) - 1,            # -1 / all ones
-        lambda width: 1 << (width - 1),            # INT_MIN
-        lambda width: (1 << (width - 1)) - 1,      # INT_MAX
-        lambda width: 2,
-        lambda width: 0x10,
-        lambda width: (1 << width) - 0x10,
-    )
-
-    def _guess_model(self, conjunction: Term) -> Optional[Model]:
-        """Try a few concrete assignments; return a verified model or None."""
-        variables = collect_variables(conjunction)
-        if not variables or len(variables) > 24:
-            return None
-        names = sorted(variables)
-        for pattern_index, pattern in enumerate(self._GUESS_PATTERNS):
-            assignment: Dict[str, int] = {}
-            for offset, name in enumerate(names):
-                sort = variables[name]
-                width = sort.width if sort.is_bv() else 1
-                # Rotate patterns across variables so mixtures get explored.
-                chosen = self._GUESS_PATTERNS[
-                    (pattern_index + offset) % len(self._GUESS_PATTERNS)]
-                value = chosen(width) & ((1 << width) - 1)
-                assignment[name] = value if sort.is_bv() else value & 1
-            try:
-                if self.manager.evaluate(conjunction, assignment):
-                    return Model(assignment)
-            except (KeyError, NotImplementedError):
-                return None
-        return None
-
     def _default_model(self, terms: Sequence[Term]) -> Dict[str, int]:
         """Arbitrary assignment when the formula simplified to ``true``."""
         values: Dict[str, int] = {}
@@ -505,22 +642,27 @@ class Solver:
 
     def _extract_model(
         self,
-        sat: SatSolver,
+        model_value,
         blaster: BitBlaster,
         terms: Sequence[Term],
     ) -> Model:
+        """Rebuild named values from ``model_value`` (a var → bool callable).
+
+        Works over any backend's assignment — the builtin solver's
+        ``model_value`` method or a :class:`PortfolioAnswer`'s.
+        """
         values: Dict[str, int] = {}
         for name, bits in blaster.known_bv_variables().items():
             value = 0
             for i, lit in enumerate(bits):
-                bit_val = sat.model_value(abs(lit))
+                bit_val = model_value(abs(lit))
                 if lit < 0:
                     bit_val = not bit_val
                 if bit_val:
                     value |= 1 << i
             values[name] = value
         for name, lit in blaster.known_bool_variables().items():
-            bit_val = sat.model_value(abs(lit))
+            bit_val = model_value(abs(lit))
             if lit < 0:
                 bit_val = not bit_val
             values[name] = int(bit_val)

@@ -1,0 +1,397 @@
+"""Unit tests for the pluggable backend layer (repro.solver.backends).
+
+Registry resolution, the oracle pre-answer chain, DIMACS emit/parse
+canonicalization, the portfolio race (deterministic tie-break, loser
+cancellation, disagreement detection), and the facade wiring
+(``Solver(backend=...)`` / ``Solver(portfolio=...)``, per-backend win
+counters, graceful degradation for unavailable members).
+
+Everything here runs with the dependency-free builtin backend; the
+``dimacs`` paths are driven through the bundled reference CLI
+(``repro.solver.backends.selfsolve``) so no native solver is needed.
+"""
+
+import subprocess
+import sys
+import time
+
+import pytest
+
+from repro.solver import CheckResult, Solver, TermManager
+from repro.solver.backends import (
+    BACKENDS,
+    BackendAnswer,
+    BackendDisagreement,
+    BuiltinBackend,
+    DimacsBackend,
+    PortfolioSolver,
+    PysatBackend,
+    SAT_BINARY_ENV,
+    SolverBackend,
+    available_backends,
+    constant_answer,
+    create_backend,
+    evaluation_answer,
+    preanswer,
+    resolve_portfolio,
+)
+from repro.solver.backends.dimacs import parse_solver_output
+from repro.solver.backends.selfsolve import solve_dimacs_text
+from repro.solver.cnf import CnfBuilder, emit_dimacs, parse_dimacs
+from repro.solver.sat import SatResult, SatSolver
+
+SELFSOLVE = f"{sys.executable} -m repro.solver.backends.selfsolve"
+
+
+@pytest.fixture()
+def mgr():
+    return TermManager()
+
+
+@pytest.fixture()
+def selfsolve_env(monkeypatch):
+    monkeypatch.setenv(SAT_BINARY_ENV, SELFSOLVE)
+
+
+# -- registry ----------------------------------------------------------------------
+
+
+class TestRegistry:
+    def test_builtin_always_available(self):
+        assert "builtin" in available_backends()
+        assert isinstance(create_backend("builtin"), BuiltinBackend)
+
+    def test_registry_names(self):
+        assert set(BACKENDS) == {"builtin", "pysat", "dimacs"}
+
+    def test_unknown_name_raises(self):
+        with pytest.raises(ValueError, match="unknown solver backend"):
+            create_backend("boolector")
+        with pytest.raises(ValueError, match="unknown solver backend"):
+            resolve_portfolio(["builtin", "boolector"])
+
+    def test_unavailable_member_dropped_silently(self, monkeypatch):
+        monkeypatch.delenv(SAT_BINARY_ENV, raising=False)
+        resolved = resolve_portfolio(["builtin", "dimacs"])
+        assert resolved == ["builtin"]
+
+    def test_empty_resolution_falls_back_to_builtin(self, monkeypatch):
+        monkeypatch.delenv(SAT_BINARY_ENV, raising=False)
+        assert resolve_portfolio(["dimacs"]) == ["builtin"]
+
+    def test_strict_resolution_raises_for_unavailable(self, monkeypatch):
+        monkeypatch.delenv(SAT_BINARY_ENV, raising=False)
+        with pytest.raises(RuntimeError, match="not available"):
+            resolve_portfolio(["dimacs"], strict=True)
+
+    def test_dimacs_available_iff_env_set(self, monkeypatch):
+        monkeypatch.delenv(SAT_BINARY_ENV, raising=False)
+        assert not DimacsBackend.available()
+        monkeypatch.setenv(SAT_BINARY_ENV, SELFSOLVE)
+        assert DimacsBackend.available()
+
+    def test_pysat_availability_matches_import(self):
+        try:
+            import pysat.solvers  # noqa: F401
+            assert PysatBackend.available()
+        except ImportError:
+            assert not PysatBackend.available()
+
+
+# -- oracle pre-answers -------------------------------------------------------------
+
+
+class TestOracle:
+    def test_constant_true(self, mgr):
+        answer = constant_answer(mgr.true())
+        assert answer.verdict == "sat" and answer.reason == "constant"
+
+    def test_constant_false(self, mgr):
+        answer = constant_answer(mgr.false())
+        assert answer.verdict == "unsat" and answer.assignment is None
+
+    def test_non_constant_defers(self, mgr):
+        assert constant_answer(mgr.bool_var("p")) is None
+
+    def test_evaluation_answer_is_verified(self, mgr):
+        x = mgr.bv_var("x", 8)
+        conjunction = mgr.eq(x, mgr.bv_const(0, 8))
+        answer = evaluation_answer(mgr, conjunction)
+        assert answer is not None and answer.verdict == "sat"
+        assert mgr.evaluate(conjunction, answer.assignment)
+
+    def test_evaluation_never_claims_unsat(self, mgr):
+        x = mgr.bv_var("x", 8)
+        # UNSAT conjunction: the oracle must defer, not decide.
+        conjunction = mgr.and_(mgr.bvult(x, mgr.bv_const(3, 8)),
+                               mgr.bvugt(x, mgr.bv_const(5, 8)))
+        assert evaluation_answer(mgr, conjunction) is None
+
+    def test_preanswer_counts_in_solver_stats(self, mgr):
+        solver = Solver(mgr, timeout=20.0)
+        x = mgr.bv_var("x", 8)
+        solver.add(mgr.eq(x, mgr.bv_const(0, 8)))
+        assert solver.check() is CheckResult.SAT
+        assert solver.stats.oracle_sat == 1
+        assert solver.stats.sat_calls == 0        # never reached a backend
+        assert preanswer(mgr, mgr.false()).verdict == "unsat"
+
+
+# -- DIMACS emit / parse ------------------------------------------------------------
+
+
+class TestDimacsFormat:
+    def test_canonical_numbering_is_sorted_and_dense(self):
+        clauses = [[9, -4], [4, 2, -9]]
+        text = emit_dimacs(clauses)
+        # Used vars {2, 4, 9} remap to {1, 2, 3}; literals sort by
+        # (variable, polarity) within each clause.
+        assert text.splitlines() == ["p cnf 3 2", "-2 3 0", "1 2 -3 0"]
+
+    def test_canonical_export_is_byte_stable_across_gaps(self):
+        # Same clause structure, different absolute numbering: the export
+        # must not leak allocation gaps.
+        a = emit_dimacs([[1, -3], [3, 2]])
+        b = emit_dimacs([[10, -30], [30, 20]])
+        assert a == b
+
+    def test_non_canonical_keeps_original_numbering(self):
+        text = emit_dimacs([[9, -4]], canonical=False)
+        assert text.splitlines() == ["p cnf 9 1", "-4 9 0"]
+
+    def test_roundtrip(self):
+        clauses = [[1, 2], [-2, 3], [-1, -3]]
+        num_vars, parsed = parse_dimacs(emit_dimacs(clauses))
+        assert num_vars == 3
+        assert parsed == [[1, 2], [-2, 3], [-1, -3]]
+
+    def test_parse_tolerates_comments_and_multiline_clauses(self):
+        text = "c header\np cnf 3 2\n1 2\n0\nc mid\n-2 -3 0\n"
+        num_vars, clauses = parse_dimacs(text)
+        assert num_vars == 3
+        assert clauses == [[1, 2], [-2, -3]]
+
+    def test_parse_rejects_malformed_problem_line(self):
+        with pytest.raises(ValueError, match="problem line"):
+            parse_dimacs("p dnf 3 2\n1 0\n")
+
+    def test_recording_builder_captures_clause_stream(self):
+        sat = SatSolver()
+        cnf = CnfBuilder(sat, record=True)
+        a, b = cnf.new_lit(), cnf.new_lit()
+        cnf.add_clause([a, b])
+        # The stream includes the builder's internal true-var clause.
+        assert cnf.clauses[0] == [cnf.true_lit]
+        assert cnf.clauses[-1] == [a, b]
+        assert len(cnf.clauses) == cnf.num_clauses
+
+
+# -- the reference DIMACS CLI -------------------------------------------------------
+
+
+class TestSelfsolve:
+    def test_sat_instance(self):
+        result, model = solve_dimacs_text("p cnf 2 2\n1 2 0\n-1 0\n")
+        assert result is SatResult.SAT
+        assert -1 in model and 2 in model
+
+    def test_unsat_instance(self):
+        result, _ = solve_dimacs_text("p cnf 1 2\n1 0\n-1 0\n")
+        assert result is SatResult.UNSAT
+
+    def test_cli_protocol_and_exit_codes(self, tmp_path):
+        path = tmp_path / "q.cnf"
+        path.write_text("p cnf 2 2\n1 2 0\n-1 0\n", encoding="utf-8")
+        proc = subprocess.run([sys.executable, "-m",
+                               "repro.solver.backends.selfsolve", str(path)],
+                              capture_output=True, text=True)
+        assert proc.returncode == 10
+        status, model = parse_solver_output(proc.stdout)
+        assert status is SatResult.SAT
+        assert model[1] is False and model[2] is True
+
+        path.write_text("p cnf 1 2\n1 0\n-1 0\n", encoding="utf-8")
+        proc = subprocess.run([sys.executable, "-m",
+                               "repro.solver.backends.selfsolve", str(path)],
+                              capture_output=True, text=True)
+        assert proc.returncode == 20
+        assert "s UNSATISFIABLE" in proc.stdout
+
+
+# -- portfolio race -----------------------------------------------------------------
+
+
+class _StubBackend(SolverBackend):
+    """Scriptable backend: fixed result, optional delay, interrupt-aware."""
+
+    def __init__(self, name, result, model=None, delay=0.0):
+        self.name = name
+        self._result = result
+        self._model = model or {}
+        self._delay = delay
+        self.interrupted = False
+
+    def ensure_vars(self, num_vars):
+        pass
+
+    def add_clauses(self, clauses):
+        pass
+
+    def solve(self, assumptions=(), max_conflicts=None, timeout=None):
+        deadline = time.monotonic() + self._delay
+        while time.monotonic() < deadline:
+            if self.interrupted:
+                return BackendAnswer(result=SatResult.UNKNOWN)
+            time.sleep(0.005)
+        return BackendAnswer(result=self._result, model=dict(self._model))
+
+    def interrupt(self):
+        self.interrupted = True
+
+
+class TestPortfolio:
+    def test_single_member_runs_inline(self):
+        stub = _StubBackend("only", SatResult.SAT, model={1: True})
+        answer = PortfolioSolver([stub]).solve()
+        assert answer.result is SatResult.SAT
+        assert answer.winner == "only"
+        assert answer.model_value(1) is True
+
+    def test_tie_break_is_configured_order(self):
+        # Both answer SAT immediately; the first configured member must be
+        # credited regardless of thread scheduling.
+        first = _StubBackend("first", SatResult.SAT, model={1: True})
+        second = _StubBackend("second", SatResult.SAT, model={1: False})
+        for _ in range(5):
+            answer = PortfolioSolver([first, second]).solve()
+            assert answer.winner == "first"
+            assert answer.model_value(1) is True
+
+    def test_definitive_answer_cancels_losers(self):
+        fast = _StubBackend("fast", SatResult.UNSAT)
+        slow = _StubBackend("slow", SatResult.SAT, delay=30.0)
+        started = time.monotonic()
+        answer = PortfolioSolver([slow, fast]).solve()
+        assert time.monotonic() - started < 10.0
+        assert answer.result is SatResult.UNSAT
+        assert answer.winner == "fast"
+        assert slow.interrupted
+
+    def test_unknown_only_when_all_exhaust(self):
+        answer = PortfolioSolver([
+            _StubBackend("a", SatResult.UNKNOWN),
+            _StubBackend("b", SatResult.UNKNOWN)]).solve()
+        assert answer.result is SatResult.UNKNOWN
+        assert answer.winner is None
+        assert answer.verdicts == {"a": "unknown", "b": "unknown"}
+
+    def test_disagreement_raises(self):
+        lying = PortfolioSolver([_StubBackend("a", SatResult.SAT),
+                                 _StubBackend("b", SatResult.UNSAT)])
+        with pytest.raises(BackendDisagreement):
+            lying.solve()
+
+    def test_crashed_member_does_not_sink_the_race(self):
+        class Crashing(_StubBackend):
+            def solve(self, assumptions=(), max_conflicts=None, timeout=None):
+                raise RuntimeError("backend died")
+
+        answer = PortfolioSolver([Crashing("bad", SatResult.UNKNOWN),
+                                  _StubBackend("good", SatResult.SAT)]).solve()
+        assert answer.result is SatResult.SAT
+        assert answer.winner == "good"
+        assert answer.verdicts["bad"] == "error"
+
+    def test_feed_is_cursor_sliced(self):
+        class Recording(_StubBackend):
+            def __init__(self):
+                super().__init__("rec", SatResult.UNKNOWN)
+                self.received = []
+
+            def add_clauses(self, clauses):
+                self.received.extend(list(c) for c in clauses)
+
+        member = Recording()
+        portfolio = PortfolioSolver([member])
+        portfolio.feed(2, [[1], [1, 2]])
+        portfolio.feed(3, [[1], [1, 2], [-3]])
+        assert member.received == [[1], [1, 2], [-3]]
+
+
+# -- facade wiring ------------------------------------------------------------------
+
+
+def _unstable_query(mgr, solver):
+    # x*x == 225 with x > 3: SAT only at the two square roots, which no
+    # oracle pattern hits — the query must reach a real backend.
+    x = mgr.bv_var("x", 8)
+    solver.add(mgr.eq(mgr.bvmul(x, x), mgr.bv_const(225, 8)))
+    solver.add(mgr.bvult(mgr.bv_const(3, 8), x))
+    return x
+
+
+class TestSolverFacade:
+    @pytest.mark.parametrize("incremental", [False, True])
+    def test_builtin_backend_matches_direct_path(self, mgr, incremental):
+        direct = Solver(mgr, timeout=20.0, incremental=incremental)
+        routed = Solver(mgr, timeout=20.0, incremental=incremental,
+                        backend="builtin")
+        for solver in (direct, routed):
+            _unstable_query(mgr, solver)
+        assert direct.check() is routed.check() is CheckResult.SAT
+        assert direct.model()["x"] in (15, 241)
+        assert routed.model()["x"] in (15, 241)
+        assert routed.stats.backend_wins == {"builtin": 1}
+        assert direct.stats.backend_wins == {}
+
+    def test_backend_and_portfolio_are_mutually_exclusive(self, mgr):
+        with pytest.raises(ValueError, match="not both"):
+            Solver(mgr, backend="builtin", portfolio=("builtin",))
+
+    def test_explicit_unavailable_backend_raises(self, mgr, monkeypatch):
+        monkeypatch.delenv(SAT_BINARY_ENV, raising=False)
+        with pytest.raises(RuntimeError, match="not available"):
+            Solver(mgr, backend="dimacs")
+
+    def test_portfolio_degrades_to_builtin(self, mgr, monkeypatch):
+        monkeypatch.delenv(SAT_BINARY_ENV, raising=False)
+        solver = Solver(mgr, timeout=20.0, portfolio=("dimacs", "pysat"))
+        if "pysat" in available_backends():
+            assert solver.backend_names == ["pysat"]
+        else:
+            assert solver.backend_names == ["builtin"]
+
+    @pytest.mark.parametrize("incremental", [False, True])
+    def test_dimacs_backend_through_selfsolve(self, mgr, selfsolve_env,
+                                              incremental):
+        solver = Solver(mgr, timeout=60.0, incremental=incremental,
+                        backend="dimacs")
+        x = _unstable_query(mgr, solver)
+        assert solver.check() is CheckResult.SAT
+        assert solver.model()["x"] in (15, 241)
+        bad = mgr.eq(x, mgr.bv_const(0, 8))
+        assert solver.check(assumptions=[bad]) is CheckResult.UNSAT
+        assert solver.failed_assumptions() == [bad]
+        assert solver.stats.backend_wins == {"dimacs": 2}
+
+    def test_portfolio_race_on_real_query(self, mgr, selfsolve_env):
+        solver = Solver(mgr, timeout=60.0, incremental=True,
+                        portfolio=("builtin", "dimacs"))
+        _unstable_query(mgr, solver)
+        assert solver.check() is CheckResult.SAT
+        assert sum(solver.stats.backend_wins.values()) == 1
+        assert set(solver.stats.backend_wins) <= {"builtin", "dimacs"}
+
+    def test_backend_push_pop(self, mgr, selfsolve_env):
+        solver = Solver(mgr, timeout=60.0, incremental=True,
+                        backend="dimacs")
+        x = mgr.bv_var("x", 8)
+        solver.add(mgr.bvult(x, mgr.bv_const(100, 8)))
+        solver.push()
+        # A contradiction the oracle cannot see (it would need two passes):
+        # x < 100 and x*x == 255 has no solution in 8 bits.
+        solver.add(mgr.eq(mgr.bvmul(x, x), mgr.bv_const(255, 8)))
+        assert solver.check() is CheckResult.UNSAT
+        solver.pop()
+        _unstable_query(mgr, solver)
+        assert solver.check() is CheckResult.SAT

@@ -305,6 +305,79 @@ class TestFailureAttribution:
         assert solver.failed_assumptions() == [bad]
 
 
+class TestBudgetExhaustionMidRace:
+    """Portfolio races where members run out of budget (docs/SOLVER.md)."""
+
+    def _exhausted(self, name="exhausted"):
+        from repro.solver.backends import BackendAnswer, SolverBackend
+        from repro.solver.sat import SatResult
+
+        class Exhausted(SolverBackend):
+            """A backend whose budget is always spent: every call UNKNOWN."""
+
+            def __init__(self):
+                self.name = name
+                self.calls = 0
+
+            def ensure_vars(self, num_vars):
+                pass
+
+            def add_clauses(self, clauses):
+                pass
+
+            def solve(self, assumptions=(), max_conflicts=None, timeout=None):
+                self.calls += 1
+                return BackendAnswer(result=SatResult.UNKNOWN)
+
+        return Exhausted()
+
+    def test_definitive_answer_survives_a_starved_member(self, mgr):
+        from repro.solver.backends import BuiltinBackend, PortfolioSolver
+        from repro.solver.bitblast import BitBlaster
+        from repro.solver.cnf import CnfBuilder
+        from repro.solver.sat import SatResult, SatSolver
+
+        sat = SatSolver()
+        cnf = CnfBuilder(sat, record=True)
+        BitBlaster(cnf).assert_term(_hard_term(mgr))
+
+        starved = self._exhausted()
+        race = PortfolioSolver([starved, BuiltinBackend(sat=sat)])
+        race.feed(sat.num_vars, cnf.clauses)
+        answer = race.solve(timeout=60.0)
+        # One member exhausted its budget; the other's definitive answer is
+        # still returned and credited.
+        assert answer.result is SatResult.UNSAT
+        assert answer.winner == "builtin"
+        assert answer.verdicts["exhausted"] == "unknown"
+        assert starved.calls == 1
+
+    def test_unknown_only_when_every_member_exhausts(self, mgr):
+        from repro.solver.backends import PortfolioSolver
+        from repro.solver.sat import SatResult
+
+        race = PortfolioSolver([self._exhausted("a"), self._exhausted("b")])
+        answer = race.solve()
+        assert answer.result is SatResult.UNKNOWN
+        assert answer.winner is None
+
+    def test_starved_builtin_race_stays_reusable(self, mgr):
+        # Through the facade: a conflict budget of 1 starves the builtin
+        # backend mid-race (UNKNOWN), then a raised budget decides the same
+        # persistent instance — mirroring the legacy reuse guarantee.
+        solver = Solver(mgr, timeout=None, max_conflicts=1, incremental=True,
+                        backend="builtin")
+        solver.push()
+        solver.add(_hard_term(mgr))
+        assert solver.check() is CheckResult.UNKNOWN
+        assert solver.stats.backend_wins == {}      # nobody won that race
+        solver.max_conflicts = 200_000
+        assert solver.check(timeout=60.0) is CheckResult.UNSAT
+        assert solver.stats.backend_wins == {"builtin": 1}
+        solver.pop()
+        assert solver.check(timeout=60.0) is CheckResult.SAT
+
+
 class TestFrameDiscipline:
     def test_non_lifo_pop_raises(self, mgr):
         x = mgr.bv_var("x", WIDTH)
