@@ -33,7 +33,8 @@ def _run(corpus, cluster, workers):
     return result, time.monotonic() - started
 
 
-def test_cluster_verdict_identity_and_speedup(once, fast_mode, engine_workers):
+def test_cluster_verdict_identity_and_speedup(once, fast_mode, engine_workers,
+                                              record_bench):
     templates = len(SNIPPETS) + len(STABLE_SNIPPETS)
     instances = 4 * templates if fast_mode else 10 * templates
     corpus = synthetic_cluster_corpus(instances, seed=0)
@@ -64,6 +65,19 @@ def test_cluster_verdict_identity_and_speedup(once, fast_mode, engine_workers):
     assert stats.cluster_fallbacks == 0
     assert stats.cluster_propagated > 0
     assert stats.cluster_clusters < stats.cluster_functions
+
+    record_bench("cluster", {
+        "clustered_wall": round(clustered_wall, 6),
+        "clusters": stats.cluster_clusters,
+        "confirmed": stats.cluster_confirmed,
+        "corpus_units": len(corpus),
+        "diagnostics": stats.diagnostics,
+        "exhaustive_wall": round(exhaustive_wall, 6),
+        "fallbacks": stats.cluster_fallbacks,
+        "propagated": stats.cluster_propagated,
+        "speedup": round(exhaustive_wall / clustered_wall, 4),
+        "workers": engine_workers,
+    })
 
     # (c) The wall-clock win that justifies the subsystem.
     speedup = exhaustive_wall / clustered_wall

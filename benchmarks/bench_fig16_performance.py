@@ -15,10 +15,22 @@ from repro.engine.engine import EngineConfig
 from repro.experiments.fig16 import run_figure16
 
 
-def test_figure16_performance(once, engine_workers):
+def test_figure16_performance(once, engine_workers, record_bench):
     result = once(run_figure16, scale=0.004, workers=engine_workers)
     print()
     print(result.render())
+
+    record_bench("fig16", {
+        m.system: {
+            "analysis_time": round(m.analysis_time, 6),
+            "build_time": round(m.build_time, 6),
+            "cache_hits": m.cache_hits,
+            "files": m.files,
+            "queries": m.queries,
+            "timeouts": m.timeouts,
+        }
+        for m in result.measurements
+    })
 
     by_name = {m.system: m for m in result.measurements}
     kerberos = by_name["Kerberos"]

@@ -11,9 +11,19 @@ benchmarks fan out over (default 2; pass 0 to force sequential runs).
 smoke mode — fewer seeded inputs, fewer profiles, smaller fuzzing budgets
 (``bench_fuzz.py``) — used by the CI benchmark/fuzz smoke jobs to keep
 wall-clock low while still executing every code path.
+
+``record_bench`` writes a machine-readable ``BENCH_<name>.json`` at the
+repo root so CI and regression tooling can diff benchmark metrics across
+commits without scraping pytest output (docs/OBSERVABILITY.md).
 """
 
+import json
+import pathlib
+
 import pytest
+
+#: Repo root — conftest lives in benchmarks/, records land one level up.
+_REPO_ROOT = pathlib.Path(__file__).resolve().parent.parent
 
 
 def pytest_addoption(parser):
@@ -35,6 +45,32 @@ def engine_workers(request):
 def fast_mode(request):
     """True when the benchmark should shrink its workload (--bench-fast)."""
     return request.config.getoption("--bench-fast")
+
+
+@pytest.fixture
+def record_bench(request, fast_mode):
+    """Write ``BENCH_<name>.json`` at the repo root for a benchmark run.
+
+    The record carries the package version, the ``--bench-fast`` flag, and
+    the benchmark's own metrics dict — sorted keys, no timestamps, so two
+    runs of identical code in one mode produce identical files apart from
+    genuinely measured values.
+    """
+    from repro import __version__
+
+    def writer(name, metrics):
+        record = {
+            "bench": name,
+            "fast_mode": fast_mode,
+            "metrics": dict(metrics),
+            "version": __version__,
+        }
+        path = _REPO_ROOT / f"BENCH_{name}.json"
+        path.write_text(json.dumps(record, sort_keys=True, indent=2) + "\n",
+                        encoding="utf-8")
+        return path
+
+    return writer
 
 
 @pytest.fixture

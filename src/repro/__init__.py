@@ -27,6 +27,10 @@ This package re-implements the full system in Python:
   fuzz``): seeded MiniC/IR program generation across the UB taxonomy,
   checker-guided campaigns through the engine, and ddmin reduction of every
   finding to a minimal reproducer,
+* :mod:`repro.obs` — the observability layer (``--trace OUT.json``):
+  deterministic hierarchical spans across every pipeline stage, a unified
+  counter/gauge/histogram registry behind the existing stats objects, and
+  Chrome trace-event / JSONL / text-profile exporters (docs/OBSERVABILITY.md),
 * :mod:`repro.experiments` — drivers that regenerate every table and figure.
 
 Quickstart::
@@ -68,6 +72,13 @@ __all__ = [
     "FuzzConfig",
     "FuzzResult",
     "run_fuzz_campaign",
+    "MetricsRegistry",
+    "Span",
+    "Tracer",
+    "render_profile",
+    "span",
+    "tracing",
+    "write_chrome_trace",
     "__version__",
 ]
 
@@ -93,6 +104,13 @@ _LAZY_ATTRS = {
     "FuzzConfig": ("repro.fuzz.campaign", "FuzzConfig"),
     "FuzzResult": ("repro.fuzz.campaign", "FuzzResult"),
     "run_fuzz_campaign": ("repro.fuzz.campaign", "run_fuzz_campaign"),
+    "MetricsRegistry": ("repro.obs.metrics", "MetricsRegistry"),
+    "Span": ("repro.obs.trace", "Span"),
+    "Tracer": ("repro.obs.trace", "Tracer"),
+    "render_profile": ("repro.obs.report", "render_profile"),
+    "span": ("repro.obs.trace", "span"),
+    "tracing": ("repro.obs.trace", "tracing"),
+    "write_chrome_trace": ("repro.obs.chrometrace", "write_chrome_trace"),
 }
 
 

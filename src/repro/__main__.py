@@ -41,11 +41,19 @@ from repro.api import check_source
 from repro.core.checker import CheckerConfig
 
 
+def _add_version(parser: argparse.ArgumentParser) -> None:
+    from repro import __version__
+
+    parser.add_argument("--version", action="version",
+                        version=f"repro {__version__}")
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="python -m repro",
         description="STACK reproduction: find optimization-unstable code "
                     "in a C-like source file.")
+    _add_version(parser)
     parser.add_argument("source", help="path to a C-like source file, or '-' "
                                        "to read from stdin")
     parser.add_argument("--json", action="store_true",
@@ -86,6 +94,15 @@ def build_parser() -> argparse.ArgumentParser:
                              "query and take the first definitive answer "
                              "(e.g. builtin,pysat; unavailable members are "
                              "dropped)")
+    parser.add_argument("--trace", metavar="OUT.json", default=None,
+                        help="record hierarchical spans for every stage and "
+                             "solver query and write a Chrome trace-event "
+                             "JSON (load in Perfetto / chrome://tracing; "
+                             "docs/OBSERVABILITY.md)")
+    parser.add_argument("--profile", action="store_true",
+                        help="with --trace: additionally print the per-run "
+                             "text profile (top spans + Figure-16 time "
+                             "split) to stderr")
     parser.add_argument("--show-config", action="store_true",
                         help="print the active CheckerConfig before checking")
     return parser
@@ -113,6 +130,7 @@ def build_fuzz_parser() -> argparse.ArgumentParser:
         prog="python -m repro fuzz",
         description="Run a generative fuzzing campaign through the checker "
                     "pipeline (docs/FUZZ.md).")
+    _add_version(parser)
     parser.add_argument("--seed", type=int, default=0, metavar="N",
                         help="campaign seed: determines every generated "
                              "program, witness replay, and differential run "
@@ -135,6 +153,10 @@ def build_fuzz_parser() -> argparse.ArgumentParser:
     parser.add_argument("--no-validate", action="store_true",
                         help="skip the stage-5 witness replay for "
                              "diagnostics")
+    parser.add_argument("--trace", metavar="OUT.json", default=None,
+                        help="record spans across the campaign's engine "
+                             "batches and write a Chrome trace-event JSON "
+                             "(docs/OBSERVABILITY.md)")
     return parser
 
 
@@ -147,7 +169,8 @@ def fuzz_main(argv: Optional[List[str]] = None) -> int:
             seed=args.seed, budget=args.budget, reduce=args.reduce,
             out=args.out, workers=args.workers,
             differential=not args.no_diff,
-            validate_witnesses=not args.no_validate))
+            validate_witnesses=not args.no_validate,
+            trace=args.trace))
     except (ValueError, OSError) as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 2
@@ -184,6 +207,7 @@ def build_cluster_parser() -> argparse.ArgumentParser:
         prog="python -m repro cluster",
         description="Check a corpus with archive-scale structural "
                     "clustering dedup (docs/CLUSTER.md).")
+    _add_version(parser)
     parser.add_argument("sources", nargs="*", metavar="FILE",
                         help="C-like source files forming the corpus")
     parser.add_argument("--synthetic", type=int, default=0, metavar="N",
@@ -210,6 +234,10 @@ def build_cluster_parser() -> argparse.ArgumentParser:
     parser.add_argument("--no-cluster", action="store_true",
                         help="check the same corpus exhaustively instead "
                              "(A/B baseline)")
+    parser.add_argument("--trace", metavar="OUT.json", default=None,
+                        help="record spans for the representative pass and "
+                             "write a Chrome trace-event JSON "
+                             "(docs/OBSERVABILITY.md)")
     return parser
 
 
@@ -240,6 +268,7 @@ def cluster_main(argv: Optional[List[str]] = None) -> int:
                               cluster=not args.no_cluster),
         cache_path=args.cache,
         results_path=args.out,
+        trace_path=args.trace,
     )
     result = CheckEngine(config).check_corpus(corpus)
     stats = result.stats
@@ -298,15 +327,34 @@ def main(argv: Optional[List[str]] = None) -> int:
         repair=args.repair,
         backend=args.backend,
         portfolio=portfolio,
+        trace=args.trace is not None,
     )
     if args.show_config:
         print(config.describe())
 
+    tracer = None
+    if args.trace is not None:
+        from repro.obs import Tracer, tracing
+
+        tracer = Tracer(name="run")
     try:
-        report = check_source(source, filename=filename, config=config)
+        if tracer is not None:
+            with tracing(tracer):
+                report = check_source(source, filename=filename, config=config)
+        else:
+            report = check_source(source, filename=filename, config=config)
     except Exception as exc:                          # frontend rejection
         print(f"error: {type(exc).__name__}: {exc}", file=sys.stderr)
         return 2
+
+    if tracer is not None:
+        from repro.obs import render_profile, write_chrome_trace
+
+        write_chrome_trace(args.trace, tracer.root,
+                           metrics=tracer.metrics.snapshot()["counters"])
+        if args.profile:
+            print(render_profile(tracer.root, tracer.metrics),
+                  file=sys.stderr)
 
     if args.json:
         from repro.engine.sink import report_to_dict

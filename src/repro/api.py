@@ -64,8 +64,15 @@ def compile_source(source: str, filename: str = "<input>",
                    promote: bool = True,
                    preprocessor: Optional[Preprocessor] = None) -> Module:
     """Compile MiniC source text into an IR module (frontend + lowering)."""
-    unit = analyze(parse(source, filename, preprocessor=preprocessor))
-    return lower_translation_unit(unit, module_name=filename, promote=promote)
+    from repro.obs.trace import span
+
+    with span("stage1.parse"):
+        tree = parse(source, filename, preprocessor=preprocessor)
+    with span("stage1.analyze"):
+        unit = analyze(tree)
+    with span("stage1.lower"):
+        return lower_translation_unit(unit, module_name=filename,
+                                      promote=promote)
 
 
 def check_module(module: Module, config: Optional[CheckerConfig] = None,

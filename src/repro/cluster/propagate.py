@@ -38,6 +38,7 @@ from repro.exec.clone import clone_function
 from repro.ir.function import Function, Module
 from repro.ir.printer import print_instruction
 from repro.ir.verifier import verify_module
+from repro.obs.trace import counter, span
 from repro.repair.verify import (
     _external_world_correlation,
     _return_term,
@@ -255,8 +256,12 @@ def propagate_clusters(
                                              config.solver_timeout,
                                              config.max_conflicts)
             report: Optional[FunctionReport] = None
-            if confirmer.confirm(member):
+            with span("cluster.confirm", member=member.label) as confirm_span:
+                confirmed = confirmer.confirm(member)
+                confirm_span.set_arg("confirmed", confirmed)
+            if confirmed:
                 stats.confirmed += 1
+                counter("cluster.confirmations")
                 report = _propagated_report(rep_report, representative,
                                             member,
                                             time.monotonic() - started)

@@ -52,6 +52,7 @@ from repro.ir.function import Function, Module
 from repro.ir.instructions import Instruction
 from repro.ir.printer import print_instruction
 from repro.ir.verifier import verify_module
+from repro.obs.trace import span
 
 
 @dataclass
@@ -109,6 +110,10 @@ class CheckerConfig:
     #: answer (ties break by order; unavailable members are dropped).
     #: Mutually exclusive with ``backend``.
     portfolio: Sequence[str] = ()
+    #: Record hierarchical spans + metrics for every stage and solver query
+    #: (repro.obs; CLI: ``--trace OUT.json``).  Span identities are
+    #: deterministic — see docs/OBSERVABILITY.md.
+    trace: bool = False
 
     def describe(self) -> str:
         """Render the active configuration for reports and logs.
@@ -161,20 +166,31 @@ class StackChecker:
         return report
 
     def check_function(self, function: Function) -> FunctionReport:
-        """Check a single function and return its report."""
+        """Check a single function and return its report.
+
+        With ``config.trace`` set (and a tracer active), the stage 2–6
+        sub-phases each record a span under one ``check.function`` span.
+        """
+        with span("check.function", function=function.name):
+            return self._check_function(function)
+
+    def _check_function(self, function: Function) -> FunctionReport:
         started = time.monotonic()
-        encoder = FunctionEncoder(function, options=self.config.encoder_options)
-        engine = QueryEngine(encoder, timeout=self.config.solver_timeout,
-                             max_conflicts=self.config.max_conflicts,
-                             cache=self.query_cache,
-                             incremental=self.config.incremental,
-                             backend=self.config.backend,
-                             portfolio=self.config.portfolio)
+        with span("stage2.encode", function=function.name):
+            encoder = FunctionEncoder(function,
+                                      options=self.config.encoder_options)
+            engine = QueryEngine(encoder, timeout=self.config.solver_timeout,
+                                 max_conflicts=self.config.max_conflicts,
+                                 cache=self.query_cache,
+                                 incremental=self.config.incremental,
+                                 backend=self.config.backend,
+                                 portfolio=self.config.portfolio)
         result = FunctionReport(function=function.name)
 
         elimination_findings: List[EliminationFinding] = []
         if self.config.enable_elimination:
-            elimination_findings = run_elimination(encoder, engine)
+            with span("stage3.elimination"):
+                elimination_findings = run_elimination(encoder, engine)
 
         # Comparisons inside blocks already proven unreachable need no second
         # look by the simplification oracles.
@@ -189,51 +205,57 @@ class StackChecker:
             oracles.append(AlgebraOracle())
         simplification_findings: List[SimplificationFinding] = []
         if oracles:
-            simplification_findings = run_simplification(
-                encoder, engine, oracles, skip_instructions=dead_instructions)
+            with span("stage3.simplification"):
+                simplification_findings = run_simplification(
+                    encoder, engine, oracles,
+                    skip_instructions=dead_instructions)
 
         diagnostics: List[Diagnostic] = []
         witness_work = []         # (diagnostic, hypothesis, conditions) triples
         repair_work = []          # the same, plus the originating finding
         suppressed = 0
-        for finding in elimination_findings:
-            if finding.trivially_dead:
-                continue
-            diagnostic = self._diagnostic_from_elimination(encoder, engine, finding)
-            if diagnostic is None:
-                suppressed += 1
-                continue
-            diagnostics.append(diagnostic)
-            witness_work.append((diagnostic, finding.hypothesis,
-                                 finding.conditions))
-            repair_work.append((diagnostic, finding, finding.hypothesis,
-                                finding.conditions))
-        for finding in simplification_findings:
-            if finding.trivially_simplified:
-                continue
-            diagnostic = self._diagnostic_from_simplification(encoder, engine, finding)
-            if diagnostic is None:
-                suppressed += 1
-                continue
-            diagnostics.append(diagnostic)
-            witness_work.append((diagnostic, finding.hypothesis,
-                                 finding.conditions))
-            repair_work.append((diagnostic, finding, finding.hypothesis,
-                                finding.conditions))
+        with span("stage4.report"):
+            for finding in elimination_findings:
+                if finding.trivially_dead:
+                    continue
+                diagnostic = self._diagnostic_from_elimination(
+                    encoder, engine, finding)
+                if diagnostic is None:
+                    suppressed += 1
+                    continue
+                diagnostics.append(diagnostic)
+                witness_work.append((diagnostic, finding.hypothesis,
+                                     finding.conditions))
+                repair_work.append((diagnostic, finding, finding.hypothesis,
+                                    finding.conditions))
+            for finding in simplification_findings:
+                if finding.trivially_simplified:
+                    continue
+                diagnostic = self._diagnostic_from_simplification(
+                    encoder, engine, finding)
+                if diagnostic is None:
+                    suppressed += 1
+                    continue
+                diagnostics.append(diagnostic)
+                witness_work.append((diagnostic, finding.hypothesis,
+                                     finding.conditions))
+                repair_work.append((diagnostic, finding, finding.hypothesis,
+                                    finding.conditions))
 
-        if self.config.classify:
-            classify_all(diagnostics)
+            if self.config.classify:
+                classify_all(diagnostics)
 
         if self.config.validate_witnesses and witness_work:
             from repro.exec.witness import validate_diagnostics
 
             witness_started = time.monotonic()
-            counts = validate_diagnostics(
-                function, encoder, witness_work,
-                fuel=self.config.witness_fuel,
-                timeout=self.config.solver_timeout,
-                max_conflicts=self.config.max_conflicts,
-                seed=self.config.witness_seed)
+            with span("stage5.witness", diagnostics=len(witness_work)):
+                counts = validate_diagnostics(
+                    function, encoder, witness_work,
+                    fuel=self.config.witness_fuel,
+                    timeout=self.config.solver_timeout,
+                    max_conflicts=self.config.max_conflicts,
+                    seed=self.config.witness_seed)
             result.witnesses_confirmed = counts["confirmed"]
             result.witnesses_unconfirmed = counts["unconfirmed"]
             result.witnesses_inconclusive = counts["inconclusive"]
@@ -243,8 +265,9 @@ class StackChecker:
             from repro.repair import repair_diagnostics
 
             repair_started = time.monotonic()
-            counts = repair_diagnostics(function, encoder, repair_work,
-                                        self.config, cache=self.query_cache)
+            with span("stage6.repair", diagnostics=len(repair_work)):
+                counts = repair_diagnostics(function, encoder, repair_work,
+                                            self.config, cache=self.query_cache)
             result.repairs_attempted = counts["attempted"]
             result.repairs_succeeded = counts["repaired"]
             result.repairs_rejected = counts["rejected"]

@@ -35,6 +35,8 @@ from dataclasses import dataclass, field
 from typing import List, Optional, Sequence, Set
 
 from repro.core.encode import FunctionEncoder
+from repro.obs.metrics import merge_counter_dataclass
+from repro.obs.trace import span
 from repro.solver.solver import CheckResult, Solver, SolverStats
 from repro.solver.terms import Term
 
@@ -57,13 +59,7 @@ class QueryStats:
         return self.queries - self.cache_hits
 
     def merge(self, other: "QueryStats") -> None:
-        self.queries += other.queries
-        self.timeouts += other.timeouts
-        self.sat += other.sat
-        self.unsat += other.unsat
-        self.cache_hits += other.cache_hits
-        self.contexts += other.contexts
-        self.total_time += other.total_time
+        merge_counter_dataclass(self, other)
 
 
 class QueryContext:
@@ -126,44 +122,51 @@ class QueryContext:
         definitions = engine.encoder.definitions_for(*full)
         goal = full + definitions
 
-        key: Optional[str] = None
-        if engine.cache is not None:
-            from repro.engine.cache import canonical_query_key
+        # The span's identity carries only the verdict — deliberately not
+        # whether the cache answered — so traced span trees stay identical
+        # whatever the cache contents (which vary across worker counts).
+        with span("solver.query") as query_span:
+            key: Optional[str] = None
+            if engine.cache is not None:
+                from repro.engine.cache import canonical_query_key
 
-            key = canonical_query_key(goal)
-            verdict = engine.cache.lookup(key, timeout=engine.timeout,
-                                          max_conflicts=engine.max_conflicts)
-            if verdict is not None:
-                engine.stats.cache_hits += 1
-                return engine._record(verdict)
+                key = canonical_query_key(goal)
+                verdict = engine.cache.lookup(
+                    key, timeout=engine.timeout,
+                    max_conflicts=engine.max_conflicts)
+                if verdict is not None:
+                    engine.stats.cache_hits += 1
+                    query_span.set_arg("verdict", verdict)
+                    return engine._record(verdict)
 
-        if engine.incremental:
-            solver = self._ensure_frame()
-            for definition in definitions:
-                if definition.tid not in self._asserted:
-                    solver.add(definition)
-                    self._asserted.add(definition.tid)
-            before = solver.stats.total_time
-            result = solver.check(assumptions=list(deltas))
-            elapsed = solver.stats.total_time - before
-        else:
-            solver = Solver(engine.encoder.manager, timeout=engine.timeout,
-                            max_conflicts=engine.max_conflicts,
-                            backend=engine.backend,
-                            portfolio=engine.portfolio)
-            for term in goal:
-                solver.add(term)
-            result = solver.check()
-            elapsed = solver.stats.total_time
-            engine._scratch_stats.merge(solver.stats)
-        engine.stats.total_time += elapsed
+            if engine.incremental:
+                solver = self._ensure_frame()
+                for definition in definitions:
+                    if definition.tid not in self._asserted:
+                        solver.add(definition)
+                        self._asserted.add(definition.tid)
+                before = solver.stats.total_time
+                result = solver.check(assumptions=list(deltas))
+                elapsed = solver.stats.total_time - before
+            else:
+                solver = Solver(engine.encoder.manager, timeout=engine.timeout,
+                                max_conflicts=engine.max_conflicts,
+                                backend=engine.backend,
+                                portfolio=engine.portfolio)
+                for term in goal:
+                    solver.add(term)
+                result = solver.check()
+                elapsed = solver.stats.total_time
+                engine._scratch_stats.merge(solver.stats)
+            engine.stats.total_time += elapsed
 
-        verdict = result.value
-        if engine.cache is not None and key is not None:
-            engine.cache.store(key, verdict, timeout=engine.timeout,
-                               max_conflicts=engine.max_conflicts,
-                               elapsed=elapsed)
-        return engine._record(verdict)
+            verdict = result.value
+            if engine.cache is not None and key is not None:
+                engine.cache.store(key, verdict, timeout=engine.timeout,
+                                   max_conflicts=engine.max_conflicts,
+                                   elapsed=elapsed)
+            query_span.set_arg("verdict", verdict)
+            return engine._record(verdict)
 
     def _ensure_frame(self) -> Solver:
         solver = self.engine._shared()

@@ -282,6 +282,17 @@ class BugReport:
     def repair_time(self) -> float:
         return sum(f.repair_time for f in self.functions)
 
+    def metrics(self) -> "MetricsRegistry":
+        """Every per-function counter lifted into one unified metrics
+        registry (``report.<field>`` counters, ``report.backend_wins.<name>``
+        labeled counters).  :meth:`describe` reads through this."""
+        from repro.obs.metrics import MetricsRegistry, absorb_dataclass
+
+        registry = MetricsRegistry()
+        for function_report in self.functions:
+            absorb_dataclass(registry, "report", function_report)
+        return registry
+
     def by_algorithm(self) -> Dict[Algorithm, int]:
         counts = {algorithm: 0 for algorithm in Algorithm}
         for diagnostic in self.bugs:
@@ -296,34 +307,47 @@ class BugReport:
         return counts
 
     def describe(self) -> str:
+        # Every number below reads through the unified metrics registry
+        # (repro.obs.metrics); the rendered text is the legacy format.
+        registry = self.metrics()
+        count = registry.counter
         lines = [f"== Stack report for {self.module or '<module>'} =="]
         if not self.bugs:
             lines.append("no unstable code found")
         for diagnostic in self.bugs:
             lines.append(diagnostic.describe())
             lines.append("")
-        lines.append(f"{len(self.bugs)} warning(s), {self.queries} solver queries, "
-                     f"{self.timeouts} timeouts")
-        lines.append(f"solver work: {self.sat_calls} CDCL calls over "
-                     f"{self.contexts} incremental contexts, "
-                     f"{self.restarts} restarts, "
-                     f"{self.blasted_clauses} bit-blasted clauses, "
-                     f"{self.solver_time:.2f}s in the solver")
-        if self.backend_wins:
-            wins = ", ".join(f"{name}={count}" for name, count
-                             in sorted(self.backend_wins.items()))
+        lines.append(f"{len(self.bugs)} warning(s), "
+                     f"{int(count('report.queries'))} solver queries, "
+                     f"{int(count('report.timeouts'))} timeouts")
+        lines.append(f"solver work: {int(count('report.sat_calls'))} CDCL calls over "
+                     f"{int(count('report.contexts'))} incremental contexts, "
+                     f"{int(count('report.restarts'))} restarts, "
+                     f"{int(count('report.blasted_clauses'))} bit-blasted clauses, "
+                     f"{count('report.solver_time'):.2f}s in the solver")
+        backend_wins = {name[len("report.backend_wins."):]: int(value)
+                        for name, value in registry.counters.items()
+                        if name.startswith("report.backend_wins.")}
+        if backend_wins:
+            wins = ", ".join(f"{name}={wins}" for name, wins
+                             in sorted(backend_wins.items()))
             lines.append(f"backend wins: {wins}")
-        if self.witnesses_validated:
-            lines.append(f"witness validation: {self.witnesses_confirmed} "
-                         f"confirmed, {self.witnesses_unconfirmed} unconfirmed, "
-                         f"{self.witnesses_inconclusive} inconclusive "
-                         f"({self.witness_time:.2f}s replaying)")
-        if self.repairs_attempted:
-            lines.append(f"auto-repair: {self.repairs_succeeded} of "
-                         f"{self.repairs_attempted} diagnostics repaired, "
-                         f"{self.repairs_rejected} rejected by the verifier, "
-                         f"{self.repairs_no_template} without a template "
-                         f"({self.repair_time:.2f}s in stage 6)")
+        witnesses_validated = (count("report.witnesses_confirmed")
+                               + count("report.witnesses_unconfirmed")
+                               + count("report.witnesses_inconclusive"))
+        if witnesses_validated:
+            lines.append(f"witness validation: "
+                         f"{int(count('report.witnesses_confirmed'))} "
+                         f"confirmed, "
+                         f"{int(count('report.witnesses_unconfirmed'))} unconfirmed, "
+                         f"{int(count('report.witnesses_inconclusive'))} inconclusive "
+                         f"({count('report.witness_time'):.2f}s replaying)")
+        if count("report.repairs_attempted"):
+            lines.append(f"auto-repair: {int(count('report.repairs_succeeded'))} of "
+                         f"{int(count('report.repairs_attempted'))} diagnostics repaired, "
+                         f"{int(count('report.repairs_rejected'))} rejected by the verifier, "
+                         f"{int(count('report.repairs_no_template'))} without a template "
+                         f"({count('report.repair_time'):.2f}s in stage 6)")
         return "\n".join(lines)
 
     def merge(self, other: "BugReport") -> None:

@@ -25,6 +25,9 @@ from repro.engine.cache import SolverQueryCache
 from repro.engine.sink import JsonlResultSink
 from repro.engine.workunit import UnitResult, WorkUnit, check_work_unit
 from repro.ir.function import Module
+from repro.obs.metrics import (MetricsRegistry, absorb_dataclass,
+                               config_snapshot, merge_counter_dataclass)
+from repro.obs.trace import Span, graft, span_payloads
 
 #: Anything convertible into a WorkUnit: the unit itself, a (name, source)
 #: pair, bare source text, or a lowered IR module.
@@ -55,6 +58,9 @@ class EngineConfig:
     escalation_factors: Tuple[float, ...] = (4.0, 16.0)
     #: JSONL file streaming one record per finished unit plus a run summary.
     results_path: Optional[str] = None
+    #: Chrome trace-event JSON written after the run (implies tracing; load
+    #: it in Perfetto / chrome://tracing).  See docs/OBSERVABILITY.md.
+    trace_path: Optional[str] = None
     #: ``multiprocessing`` start method ("fork" where available, else "spawn").
     start_method: str = field(default_factory=_default_start_method)
 
@@ -110,68 +116,77 @@ class RunStats:
     def merge(self, other: "RunStats") -> None:
         """Accumulate another run's counters into this one.
 
-        Numeric fields add up; ``workers`` keeps the maximum fan-out seen.
-        Batched drivers (the fuzz campaign checks its corpus one generated
-        batch at a time) use this to report campaign-wide totals.
+        Reflection-based (:func:`repro.obs.metrics.merge_counter_dataclass`):
+        every numeric field adds, dict fields (``backend_wins``) add per key,
+        and ``workers`` keeps the maximum fan-out seen — so a counter added
+        to this dataclass later is merged automatically.  Batched drivers
+        (the fuzz campaign checks its corpus one generated batch at a time)
+        use this to report campaign-wide totals.
         """
-        import dataclasses
+        merge_counter_dataclass(self, other, maxed=("workers",))
 
-        for stats_field in dataclasses.fields(self):
-            if stats_field.name == "workers":
-                self.workers = max(self.workers, other.workers)
-                continue
-            if stats_field.name == "backend_wins":
-                for name, wins in other.backend_wins.items():
-                    self.backend_wins[name] = \
-                        self.backend_wins.get(name, 0) + wins
-                continue
-            setattr(self, stats_field.name,
-                    getattr(self, stats_field.name) +
-                    getattr(other, stats_field.name))
+    def registry(self) -> MetricsRegistry:
+        """This run's counters lifted into the unified metrics registry
+        (``run.<field>`` counters, ``run.workers`` gauge,
+        ``run.backend_wins.<name>`` labeled counters)."""
+        registry = MetricsRegistry()
+        return absorb_dataclass(registry, "run", self, gauges=("workers",))
 
     def as_dict(self) -> Dict[str, object]:
+        """The legacy nested summary schema, read through the registry."""
+        reg = self.registry()
+        count = reg.counter
+        wins = {name[len("run.backend_wins."):]: int(value)
+                for name, value in reg.counters.items()
+                if name.startswith("run.backend_wins.")}
         return {
-            "units": self.units, "failed_units": self.failed_units,
-            "functions": self.functions, "diagnostics": self.diagnostics,
-            "queries": self.queries, "solver_queries": self.solver_queries,
-            "cache_hits": self.cache_hits, "timeouts": self.timeouts,
-            "escalated_units": self.escalated_units, "workers": self.workers,
-            "wall_clock": round(self.wall_clock, 6),
-            "analysis_time": round(self.analysis_time, 6),
+            "units": int(count("run.units")),
+            "failed_units": int(count("run.failed_units")),
+            "functions": int(count("run.functions")),
+            "diagnostics": int(count("run.diagnostics")),
+            "queries": int(count("run.queries")),
+            "solver_queries": int(count("run.solver_queries")),
+            "cache_hits": int(count("run.cache_hits")),
+            "timeouts": int(count("run.timeouts")),
+            "escalated_units": int(count("run.escalated_units")),
+            "workers": int(reg.gauges.get("run.workers", 0)),
+            "wall_clock": round(count("run.wall_clock"), 6),
+            "analysis_time": round(count("run.analysis_time"), 6),
             "solver": {
-                "contexts": self.contexts, "sat_calls": self.sat_calls,
-                "restarts": self.restarts,
-                "blasted_clauses": self.blasted_clauses,
-                "solver_time": round(self.solver_time, 6),
-                "oracle_sat": self.oracle_sat,
-                "oracle_unsat": self.oracle_unsat,
-                "backend_wins": dict(sorted(self.backend_wins.items())),
+                "contexts": int(count("run.contexts")),
+                "sat_calls": int(count("run.sat_calls")),
+                "restarts": int(count("run.restarts")),
+                "blasted_clauses": int(count("run.blasted_clauses")),
+                "solver_time": round(count("run.solver_time"), 6),
+                "oracle_sat": int(count("run.oracle_sat")),
+                "oracle_unsat": int(count("run.oracle_unsat")),
+                "backend_wins": dict(sorted(wins.items())),
             },
             "witnesses": {
-                "confirmed": self.witnesses_confirmed,
-                "unconfirmed": self.witnesses_unconfirmed,
-                "inconclusive": self.witnesses_inconclusive,
-                "witness_time": round(self.witness_time, 6),
+                "confirmed": int(count("run.witnesses_confirmed")),
+                "unconfirmed": int(count("run.witnesses_unconfirmed")),
+                "inconclusive": int(count("run.witnesses_inconclusive")),
+                "witness_time": round(count("run.witness_time"), 6),
             },
             "repair": {
-                "attempted": self.repairs_attempted,
-                "repaired": self.repairs_succeeded,
-                "rejected": self.repairs_rejected,
-                "no_template": self.repairs_no_template,
+                "attempted": int(count("run.repairs_attempted")),
+                "repaired": int(count("run.repairs_succeeded")),
+                "rejected": int(count("run.repairs_rejected")),
+                "no_template": int(count("run.repairs_no_template")),
                 "gate_rejections": {
-                    "equivalence": self.repair_gate_equivalence_rejects,
-                    "recheck": self.repair_gate_recheck_rejects,
-                    "replay": self.repair_gate_replay_rejects,
+                    "equivalence": int(count("run.repair_gate_equivalence_rejects")),
+                    "recheck": int(count("run.repair_gate_recheck_rejects")),
+                    "replay": int(count("run.repair_gate_replay_rejects")),
                 },
-                "repair_time": round(self.repair_time, 6),
+                "repair_time": round(count("run.repair_time"), 6),
             },
             "cluster": {
-                "functions": self.cluster_functions,
-                "clusters": self.cluster_clusters,
-                "propagated": self.cluster_propagated,
-                "confirmed": self.cluster_confirmed,
-                "fallbacks": self.cluster_fallbacks,
-                "cluster_time": round(self.cluster_time, 6),
+                "functions": int(count("run.cluster_functions")),
+                "clusters": int(count("run.cluster_clusters")),
+                "propagated": int(count("run.cluster_propagated")),
+                "confirmed": int(count("run.cluster_confirmed")),
+                "fallbacks": int(count("run.cluster_fallbacks")),
+                "cluster_time": round(count("run.cluster_time"), 6),
             },
         }
 
@@ -182,6 +197,10 @@ class EngineResult:
 
     results: List[UnitResult] = field(default_factory=list)
     stats: RunStats = field(default_factory=RunStats)
+    #: Assembled run-level span tree (tracing runs only).
+    trace: Optional[Span] = None
+    #: Metrics merged across all traced units (tracing runs only).
+    metrics: Optional[MetricsRegistry] = None
 
     @property
     def reports(self) -> List[BugReport]:
@@ -237,7 +256,10 @@ class CheckEngine:
 
     def __init__(self, config: Optional[EngineConfig] = None) -> None:
         self.config = config if config is not None else EngineConfig()
+        if self.config.trace_path and not self.config.checker.trace:
+            self.config.checker.trace = True       # a trace file implies tracing
         self.cache: Optional[SolverQueryCache] = None
+        self._aux_trace_blobs: List[dict] = []
         if self.config.cache_enabled:
             self.cache = SolverQueryCache(capacity=self.config.cache_capacity,
                                           path=self.config.cache_path)
@@ -250,6 +272,7 @@ class CheckEngine:
         started = time.monotonic()
         sink = JsonlResultSink(self.config.results_path) \
             if self.config.results_path else None
+        self._aux_trace_blobs = []
         try:
             cluster_stats = None
             if self.config.checker.cluster:
@@ -258,7 +281,8 @@ class CheckEngine:
                 results = self._run_parallel(work, sink)
             else:
                 results = self._run_sequential(work, sink)
-            stats = self._aggregate(results, time.monotonic() - started)
+            wall_clock = time.monotonic() - started
+            stats = self._aggregate(results, wall_clock)
             if cluster_stats is not None:
                 stats.cluster_functions = cluster_stats.functions
                 stats.cluster_clusters = cluster_stats.clusters
@@ -266,6 +290,17 @@ class CheckEngine:
                 stats.cluster_confirmed = cluster_stats.confirmed
                 stats.cluster_fallbacks = cluster_stats.fallbacks
                 stats.cluster_time = cluster_stats.cluster_time
+            trace_root, trace_metrics = self._assemble_trace(results, wall_clock)
+            if trace_root is not None:
+                trace_metrics.merge(stats.registry())
+                if sink is not None:
+                    for payload in span_payloads(trace_root):
+                        sink.write_record(dict(payload, type="span"))
+                    self._write_metric_records(sink, trace_metrics)
+                if self.config.trace_path:
+                    from repro.obs.chrometrace import write_chrome_trace
+                    write_chrome_trace(self.config.trace_path, trace_root,
+                                       metrics=trace_metrics.snapshot()["counters"])
             if sink is not None:
                 sink.write_summary(self._summary_dict(stats))
         finally:
@@ -273,7 +308,8 @@ class CheckEngine:
                 sink.close()
         if self.cache is not None and self.config.cache_path is not None:
             self.cache.flush()
-        return EngineResult(results=results, stats=stats)
+        return EngineResult(results=results, stats=stats,
+                            trace=trace_root, metrics=trace_metrics)
 
     def check_modules(self, modules: Iterable[Module]) -> EngineResult:
         """Check already-lowered IR modules (pickled to workers if parallel)."""
@@ -292,6 +328,7 @@ class CheckEngine:
                 unit, checker, cache=self.cache,
                 escalation_factors=self.config.escalation_factors,
                 drain_cache=False)
+            result.trace = result.meta.pop("obs", None)
             results.append(result)
             if sink is not None:
                 sink.write_unit(result.name, result.report,
@@ -321,6 +358,7 @@ class CheckEngine:
                 if self.cache is not None and result.cache_entries:
                     self.cache.absorb(result.cache_entries)
                 result.cache_entries = []
+                result.trace = result.meta.pop("obs", None)
                 ordered[index] = result
                 if sink is not None:
                     sink.write_unit(result.name, result.report,
@@ -388,6 +426,10 @@ class CheckEngine:
             rep_unit_results = self._run_parallel(rep_units, None, config=base)
         else:
             rep_unit_results = self._run_sequential(rep_units, None, config=base)
+        # Representative mini-units carry the only traces of a clustered
+        # run; stash them for the run-level assembly (the per-unit results
+        # below are synthesized in the parent, outside any tracer).
+        self._aux_trace_blobs = [r.trace for r in rep_unit_results if r.trace]
         rep_results = {}
         for cluster_index, result in enumerate(rep_unit_results):
             if result.error is None and result.report.functions:
@@ -487,8 +529,61 @@ class CheckEngine:
         stats.solver_queries = stats.queries - stats.cache_hits
         return stats
 
+    def _assemble_trace(self, results: Sequence[UnitResult],
+                        wall_clock: float):
+        """Graft every unit's serialized spans under one run root.
+
+        Units are laid out in submission order on one logical timeline
+        (each shifted past the previous unit's duration), so the assembled
+        tree — ids, structure, args — is identical whatever the worker
+        count; only the recorded durations differ.  Returns
+        ``(None, None)`` when tracing was off.
+        """
+        blobs = [result.trace for result in results if result.trace]
+        blobs.extend(self._aux_trace_blobs)
+        if not blobs:
+            return None, None
+        root = Span("run")
+        metrics = MetricsRegistry()
+        offset = 0.0
+        for blob in blobs:
+            graft(root, blob.get("spans", ()), blob.get("timings", ()),
+                  offset=offset)
+            timings = blob.get("timings") or ()
+            if timings:
+                offset += float(timings[0][1])     # the unit root's duration
+            metrics.merge_snapshot(blob.get("metrics", {}))
+        root.dur = max(wall_clock, offset)
+        return root, metrics
+
+    @staticmethod
+    def _write_metric_records(sink: JsonlResultSink,
+                              metrics: MetricsRegistry) -> None:
+        """One sorted-key ``{"type": "metric"}`` record per metric."""
+        snapshot = metrics.snapshot()
+        for name, value in snapshot["counters"].items():
+            sink.write_record({"type": "metric", "kind": "counter",
+                               "name": name, "value": value})
+        for name, value in snapshot["gauges"].items():
+            sink.write_record({"type": "metric", "kind": "gauge",
+                               "name": name, "value": value})
+        for name, hist in snapshot["histograms"].items():
+            sink.write_record(dict(hist, type="metric", kind="histogram",
+                                   name=name))
+
     def _summary_dict(self, stats: RunStats) -> Dict[str, object]:
+        import repro
+
         summary = stats.as_dict()
+        summary["version"] = repro.__version__
+        summary["config"] = {
+            "checker": config_snapshot(self.config.checker),
+            "engine": {
+                "workers": self.config.workers,
+                "cache_enabled": self.config.cache_enabled,
+                "escalation_factors": list(self.config.escalation_factors),
+            },
+        }
         if self.cache is not None:
             # Derive hit/miss from this run's aggregated report counters: in
             # parallel mode the lookups happen inside worker-process cache

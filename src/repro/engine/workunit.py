@@ -16,6 +16,13 @@ and escalation retries replace a starved function's report wholesale — so
 unit results always reflect the budget that actually produced them.
 ``escalate_config`` copies every checker field, including ``incremental``,
 so retries run in the same solving mode as the base pass.
+
+When ``CheckerConfig.trace`` is set, the whole unit runs under its own
+process-local :class:`~repro.obs.trace.Tracer` — in the worker *and* in
+sequential mode, so the span tree is identical either way — and the
+finished spans travel back through ``UnitResult.meta["obs"]`` (identity
+payloads, out-of-band timings, and a metrics snapshot), which the engine
+pops off and grafts into the run-level trace (see docs/OBSERVABILITY.md).
 """
 
 from __future__ import annotations
@@ -28,6 +35,8 @@ from repro.core.checker import CheckerConfig, StackChecker
 from repro.core.report import BugReport
 from repro.engine.cache import SolverQueryCache
 from repro.ir.function import Module
+from repro.obs import trace as obs_trace
+from repro.obs.trace import span
 
 
 @dataclass
@@ -61,6 +70,9 @@ class UnitResult:
     error: Optional[str] = None          # compile/verify failure, if any
     cache_entries: List[dict] = field(default_factory=list)
     meta: dict = field(default_factory=dict)   # the work unit's annotations
+    #: Serialized trace blob (spans/timings/metrics) when tracing was on;
+    #: populated by the engine from ``meta["obs"]`` before sink writes.
+    trace: Optional[dict] = None
 
     @property
     def ok(self) -> bool:
@@ -90,12 +102,37 @@ def check_work_unit(unit: WorkUnit, config: CheckerConfig,
     while cached ``unknown`` verdicts are ignored under a larger budget
     (see :mod:`repro.engine.cache`), so a retry re-solves exactly the
     queries that timed out.
+
+    With ``config.trace`` set, the unit runs under a fresh tracer whose
+    serialized spans ride home in ``meta["obs"]`` (see module docstring).
     """
+    if not config.trace:
+        return _check_work_unit(unit, config, cache=cache,
+                                escalation_factors=escalation_factors,
+                                drain_cache=drain_cache)
+    tracer = obs_trace.Tracer(name=f"unit:{unit.name}")
+    previous = obs_trace.activate(tracer)
+    try:
+        result = _check_work_unit(unit, config, cache=cache,
+                                  escalation_factors=escalation_factors,
+                                  drain_cache=drain_cache)
+    finally:
+        obs_trace.restore(previous)
+    result.meta = dict(result.meta)
+    result.meta["obs"] = tracer.to_blob()
+    return result
+
+
+def _check_work_unit(unit: WorkUnit, config: CheckerConfig,
+                     cache: Optional[SolverQueryCache] = None,
+                     escalation_factors: Sequence[float] = (),
+                     drain_cache: bool = True) -> UnitResult:
     if unit.module is None:
         from repro.api import compile_source
 
         try:
-            module = compile_source(unit.source, filename=unit.filename)
+            with span("stage1.frontend", unit=unit.name):
+                module = compile_source(unit.source, filename=unit.filename)
         except Exception as exc:                       # frontend rejection
             return UnitResult(name=unit.name, report=BugReport(module=unit.name),
                               error=f"{type(exc).__name__}: {exc}",
@@ -118,13 +155,14 @@ def check_work_unit(unit: WorkUnit, config: CheckerConfig,
         attempts += 1
         retry_checker = StackChecker(escalate_config(config, factor),
                                      query_cache=cache)
-        for function_report in starved:
-            function = functions_by_name.get(function_report.function)
-            if function is None:
-                continue
-            retried = retry_checker.check_function(function)
-            index = report.functions.index(function_report)
-            report.functions[index] = retried
+        with span("unit.escalate", attempt=attempts):
+            for function_report in starved:
+                function = functions_by_name.get(function_report.function)
+                if function is None:
+                    continue
+                retried = retry_checker.check_function(function)
+                index = report.functions.index(function_report)
+                report.functions[index] = retried
 
     # Workers drain their discoveries so the parent can absorb them; in
     # sequential mode the engine owns the cache and flushes it directly.

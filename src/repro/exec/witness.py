@@ -44,6 +44,7 @@ from repro.exec.clone import clone_function
 from repro.exec.interp import ExecResult, ExecStatus, ExternalEnv, run_function
 from repro.ir.function import Function, Module
 from repro.ir.instructions import Call, Instruction, Load
+from repro.obs.trace import span
 from repro.solver.solver import CheckResult, Solver
 from repro.solver.terms import Term
 
@@ -244,10 +245,12 @@ def validate_diagnostics(function: Function, encoder: FunctionEncoder,
         seed = rng.getrandbits(32)
     counts = {verdict.value: 0 for verdict in WitnessVerdict}
     for diagnostic, hypothesis, conditions in findings:
-        witness = replay_diagnostic(function, encoder, diagnostic,
-                                    hypothesis, conditions, module=module,
-                                    fuel=fuel, timeout=timeout,
-                                    max_conflicts=max_conflicts, seed=seed)
+        with span("witness.replay") as replay_span:
+            witness = replay_diagnostic(function, encoder, diagnostic,
+                                        hypothesis, conditions, module=module,
+                                        fuel=fuel, timeout=timeout,
+                                        max_conflicts=max_conflicts, seed=seed)
+            replay_span.set_arg("verdict", witness.verdict.value)
         diagnostic.witness = witness
         counts[witness.verdict.value] += 1
     return counts

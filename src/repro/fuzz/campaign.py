@@ -85,6 +85,10 @@ class FuzzConfig:
     repair: bool = False
     #: Per-query CDCL conflict budget (no wall-clock timeout: determinism).
     max_conflicts: int = 50_000
+    #: Chrome trace-event JSON path; enables span recording across every
+    #: engine batch (docs/OBSERVABILITY.md).  The JSONL stream stays
+    #: byte-identical — spans never enter campaign records.
+    trace: Optional[str] = None
 
     def checker_config(self, witness_seed: int) -> CheckerConfig:
         """The deterministic checker configuration campaign units run under."""
@@ -94,6 +98,7 @@ class FuzzConfig:
             validate_witnesses=self.validate_witnesses,
             witness_seed=witness_seed,
             repair=self.repair,
+            trace=self.trace is not None,
         )
 
 
@@ -220,6 +225,16 @@ class FuzzCampaign:
         checker = cfg.checker_config(witness_seed)
         engine = CheckEngine(EngineConfig(workers=cfg.workers, checker=checker))
 
+        trace_root: Optional["Span"] = None
+        trace_metrics = None
+        trace_offset = 0.0
+        if cfg.trace:
+            from repro.obs.metrics import MetricsRegistry
+            from repro.obs.trace import Span
+
+            trace_root = Span("fuzz-campaign")
+            trace_metrics = MetricsRegistry()
+
         sink = JsonlResultSink(cfg.out) if cfg.out else None
         try:
             index = 0
@@ -229,6 +244,15 @@ class FuzzCampaign:
                 index += batch_size
                 outcome = engine.check_corpus(self._work_units(programs))
                 stats.engine.merge(outcome.stats)
+                if trace_root is not None and outcome.trace is not None:
+                    from repro.obs.trace import graft, span_payloads, \
+                        span_timings
+
+                    graft(trace_root, span_payloads(outcome.trace),
+                          span_timings(outcome.trace), offset=trace_offset)
+                    trace_offset += outcome.trace.dur
+                    if outcome.metrics is not None:
+                        trace_metrics.merge(outcome.metrics)
                 for program, unit in zip(programs, outcome.results):
                     record = self._process_program(program, unit, result)
                     result.records.append(record)
@@ -237,12 +261,31 @@ class FuzzCampaign:
                 self._reschedule()
             summary = {"type": "fuzz-run"}
             summary.update(stats.as_dict())
+            import repro
+            from repro.obs.metrics import config_snapshot
+
+            summary["version"] = repro.__version__
+            # Execution-environment knobs (output paths, worker count,
+            # tracing) never influence the verdict stream, so they stay out
+            # of the summary: runs that must be byte-identical may differ
+            # in all three.
+            snapshot = config_snapshot(cfg)
+            for knob in ("out", "workers", "trace"):
+                snapshot.pop(knob, None)
+            summary["config"] = snapshot
             if sink is not None:
                 sink.write_record(summary)
         finally:
             if sink is not None:
                 sink.close()
         stats.wall_clock = time.monotonic() - started
+        if trace_root is not None:
+            from repro.obs.chrometrace import write_chrome_trace
+
+            trace_root.dur = max(stats.wall_clock, trace_offset)
+            write_chrome_trace(
+                cfg.trace, trace_root,
+                metrics=trace_metrics.snapshot()["counters"])
         return result
 
     # -- generation and scheduling ---------------------------------------------------

@@ -1,0 +1,76 @@
+"""``repro.obs`` — tracing, metrics, and profiling for the checker pipeline.
+
+Three layers:
+
+* :mod:`repro.obs.trace` — hierarchical spans with deterministic ids,
+  a process-local tracer, and graft-based reassembly across the
+  multiprocessing fan-out;
+* :mod:`repro.obs.metrics` — counters/gauges/histograms behind one
+  ``snapshot()``/``merge()`` protocol, plus the reflection helpers the
+  legacy ``SolverStats``/``RunStats`` merges route through;
+* exporters — :mod:`repro.obs.chrometrace` (Perfetto-loadable Chrome
+  trace-event JSON) and :mod:`repro.obs.report` (per-run text profile
+  along Figure 16's axes).
+
+See ``docs/OBSERVABILITY.md`` for the user-facing guide.
+"""
+
+from repro.obs.chrometrace import (
+    chrome_trace_document,
+    chrome_trace_events,
+    validate_chrome_trace,
+    write_chrome_trace,
+)
+from repro.obs.metrics import (
+    DEFAULT_LATENCY_BUCKETS,
+    Histogram,
+    MetricsRegistry,
+    absorb_dataclass,
+    config_snapshot,
+    merge_counter_dataclass,
+)
+from repro.obs.report import aggregate_spans, render_profile, time_split
+from repro.obs.trace import (
+    Span,
+    Tracer,
+    activate,
+    counter,
+    current_tracer,
+    graft,
+    observe,
+    restore,
+    span,
+    span_payloads,
+    span_timings,
+    traced,
+    tracing,
+)
+
+__all__ = [
+    "Span",
+    "Tracer",
+    "activate",
+    "current_tracer",
+    "restore",
+    "span",
+    "tracing",
+    "traced",
+    "counter",
+    "observe",
+    "span_payloads",
+    "span_timings",
+    "graft",
+    "MetricsRegistry",
+    "Histogram",
+    "DEFAULT_LATENCY_BUCKETS",
+    "merge_counter_dataclass",
+    "absorb_dataclass",
+    "config_snapshot",
+    "chrome_trace_events",
+    "chrome_trace_document",
+    "write_chrome_trace",
+    "validate_chrome_trace",
+    "aggregate_spans",
+    "time_split",
+    "render_profile",
+]

@@ -1,0 +1,106 @@
+"""Chrome trace-event exporter.
+
+Emits the ``{"traceEvents": [...]}`` JSON object format understood by
+Perfetto (https://ui.perfetto.dev) and the legacy ``chrome://tracing``
+viewer.  Every span becomes one complete ("ph": "X") event with integer
+microsecond ``ts``/``dur``; the deterministic span id and args ride in
+``args`` so a trace can be diffed against the JSONL span records.
+
+The file is written with sorted keys, so a trace of a deterministic run is
+itself byte-stable up to the recorded timings.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Dict, List, Mapping, Optional
+
+from repro.obs.trace import Span
+
+__all__ = [
+    "chrome_trace_events",
+    "chrome_trace_document",
+    "write_chrome_trace",
+    "validate_chrome_trace",
+]
+
+_VALID_PHASES = {"X", "B", "E", "i", "I", "C", "M", "b", "e", "s", "t", "f"}
+
+
+def chrome_trace_events(root: Span, pid: int = 1, tid: int = 1) -> List[Dict[str, Any]]:
+    """Flatten a span tree into complete trace events (µs granularity)."""
+    events: List[Dict[str, Any]] = []
+    for node in root.walk():
+        args: Dict[str, Any] = {"id": node.span_id}
+        if node.args:
+            args.update(node.args)
+        events.append({
+            "name": node.name,
+            "cat": "repro",
+            "ph": "X",
+            "ts": int(round(node.ts * 1_000_000)),
+            "dur": int(round(node.dur * 1_000_000)),
+            "pid": pid,
+            "tid": tid,
+            "args": args,
+        })
+    return events
+
+
+def chrome_trace_document(root: Span,
+                          metrics: Optional[Mapping[str, Any]] = None,
+                          ) -> Dict[str, Any]:
+    """The full JSON-object-format document for one run."""
+    document: Dict[str, Any] = {
+        "traceEvents": chrome_trace_events(root),
+        "displayTimeUnit": "ms",
+        "otherData": {"producer": "repro.obs"},
+    }
+    if metrics is not None:
+        document["otherData"]["metrics"] = dict(metrics)
+    return document
+
+
+def write_chrome_trace(path: str, root: Span,
+                       metrics: Optional[Mapping[str, Any]] = None) -> None:
+    document = chrome_trace_document(root, metrics=metrics)
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(document, handle, sort_keys=True, separators=(",", ":"))
+        handle.write("\n")
+
+
+def validate_chrome_trace(document: Any) -> List[Dict[str, Any]]:
+    """Check ``document`` against the trace-event schema; return its events.
+
+    Raises :class:`ValueError` on the first violation.  This is what the CI
+    obs-smoke job runs over emitted traces: the JSON-object form with a
+    ``traceEvents`` list whose members carry a string ``name``, a known
+    ``ph``, and non-negative integer ``ts``/``dur`` (for complete events).
+    """
+    if not isinstance(document, dict):
+        raise ValueError("trace document must be a JSON object")
+    events = document.get("traceEvents")
+    if not isinstance(events, list):
+        raise ValueError("trace document missing 'traceEvents' list")
+    for index, event in enumerate(events):
+        where = f"traceEvents[{index}]"
+        if not isinstance(event, dict):
+            raise ValueError(f"{where} is not an object")
+        name = event.get("name")
+        if not isinstance(name, str) or not name:
+            raise ValueError(f"{where} has no string 'name'")
+        phase = event.get("ph")
+        if phase not in _VALID_PHASES:
+            raise ValueError(f"{where} has invalid phase {phase!r}")
+        ts = event.get("ts")
+        if not isinstance(ts, int) or isinstance(ts, bool) or ts < 0:
+            raise ValueError(f"{where} has invalid 'ts' {ts!r}")
+        if phase == "X":
+            dur = event.get("dur")
+            if not isinstance(dur, int) or isinstance(dur, bool) or dur < 0:
+                raise ValueError(f"{where} has invalid 'dur' {dur!r}")
+        for key in ("pid", "tid"):
+            ident = event.get(key)
+            if not isinstance(ident, (int, str)) or isinstance(ident, bool):
+                raise ValueError(f"{where} has invalid {key!r} {ident!r}")
+    return events

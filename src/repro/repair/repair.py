@@ -28,6 +28,7 @@ from repro.core.ubconditions import UBCondition
 from repro.exec.witness import solve_witness_model
 from repro.ir.function import Function
 from repro.ir.printer import print_function
+from repro.obs.trace import span
 from repro.repair.templates import DEFAULT_TEMPLATES, propose_candidates
 from repro.repair.verify import (
     GateResult,
@@ -172,14 +173,16 @@ def repair_diagnostic(function: Function, encoder: FunctionEncoder,
         if memoised is not None:
             equivalence, recheck = memoised
         else:
-            equivalence = prove_equivalence(
-                function, candidate.patched,
-                timeout=equivalence_timeout,
-                max_conflicts=equivalence_conflicts)
+            with span("repair.gate.equivalence", template=candidate.template):
+                equivalence = prove_equivalence(
+                    function, candidate.patched,
+                    timeout=equivalence_timeout,
+                    max_conflicts=equivalence_conflicts)
             recheck = None
             if equivalence.passed:
-                recheck = recheck_stability(candidate.patched, config,
-                                            cache=cache)
+                with span("repair.gate.recheck", template=candidate.template):
+                    recheck = recheck_stability(candidate.patched, config,
+                                                cache=cache)
             if gate_memo is not None and memo_key is not None:
                 gate_memo[memo_key] = (equivalence, recheck)
 
@@ -201,11 +204,12 @@ def repair_diagnostic(function: Function, encoder: FunctionEncoder,
             replay = GateResult("witness-replay", False,
                                 "no witness model within the solver budget")
         else:
-            replay = replay_original_witness(
-                candidate.patched, encoder, hypothesis, conditions,
-                fuel=config.witness_fuel, timeout=config.solver_timeout,
-                max_conflicts=config.max_conflicts,
-                seed=config.witness_seed, model=model)
+            with span("repair.gate.replay", template=candidate.template):
+                replay = replay_original_witness(
+                    candidate.patched, encoder, hypothesis, conditions,
+                    fuel=config.witness_fuel, timeout=config.solver_timeout,
+                    max_conflicts=config.max_conflicts,
+                    seed=config.witness_seed, model=model)
         gates.append(replay)
         if not replay.passed:
             rejections["replay"] = rejections.get("replay", 0) + 1

@@ -43,6 +43,9 @@ import time
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Tuple
 
+from repro.obs.metrics import (MetricsRegistry, absorb_dataclass,
+                               merge_counter_dataclass)
+from repro.obs.trace import span
 from repro.solver.backends import (BuiltinBackend, PortfolioAnswer,
                                    PortfolioSolver, create_backend, preanswer,
                                    resolve_portfolio)
@@ -105,42 +108,51 @@ class SolverStats:
             self.unknown += 1
 
     def merge(self, other: "SolverStats") -> None:
-        """Accumulate another stats block into this one."""
-        self.queries += other.queries
-        self.sat += other.sat
-        self.unsat += other.unsat
-        self.unknown += other.unknown
-        self.decided_by_simplification += other.decided_by_simplification
-        self.total_time += other.total_time
-        self.sat_calls += other.sat_calls
-        self.restarts += other.restarts
-        self.conflicts += other.conflicts
-        self.decisions += other.decisions
-        self.propagations += other.propagations
-        self.blasted_clauses += other.blasted_clauses
-        self.blast_hits += other.blast_hits
-        self.assumption_failures += other.assumption_failures
-        self.oracle_sat += other.oracle_sat
-        self.oracle_unsat += other.oracle_unsat
-        for name, wins in other.backend_wins.items():
-            self.backend_wins[name] = self.backend_wins.get(name, 0) + wins
+        """Accumulate another stats block into this one.
+
+        Reflection-based (:func:`repro.obs.metrics.merge_counter_dataclass`):
+        every numeric field adds and ``backend_wins`` adds per key, so a
+        counter added to this dataclass later can never be silently dropped
+        (``tests/test_stats_merge.py`` guards this).
+        """
+        merge_counter_dataclass(self, other)
+
+    def registry(self) -> MetricsRegistry:
+        """These counters lifted into the unified metrics registry
+        (``solver.<field>`` counters, ``solver.backend_wins.<name>``
+        labeled counters)."""
+        registry = MetricsRegistry()
+        return absorb_dataclass(registry, "solver", self)
 
     def as_dict(self) -> Dict[str, object]:
-        """Plain-JSON view used by the engine's result sink."""
+        """Plain-JSON view used by the engine's result sink.
+
+        The legacy flat schema, read through :meth:`registry`.
+        """
+        reg = self.registry()
+        count = reg.counter
+        wins = {name[len("solver.backend_wins."):]: int(value)
+                for name, value in reg.counters.items()
+                if name.startswith("solver.backend_wins.")}
         return {
-            "queries": self.queries, "sat": self.sat, "unsat": self.unsat,
-            "unknown": self.unknown,
-            "decided_by_simplification": self.decided_by_simplification,
-            "total_time": round(self.total_time, 6),
-            "sat_calls": self.sat_calls, "restarts": self.restarts,
-            "conflicts": self.conflicts, "decisions": self.decisions,
-            "propagations": self.propagations,
-            "blasted_clauses": self.blasted_clauses,
-            "blast_hits": self.blast_hits,
-            "assumption_failures": self.assumption_failures,
-            "oracle_sat": self.oracle_sat,
-            "oracle_unsat": self.oracle_unsat,
-            "backend_wins": dict(sorted(self.backend_wins.items())),
+            "queries": int(count("solver.queries")),
+            "sat": int(count("solver.sat")),
+            "unsat": int(count("solver.unsat")),
+            "unknown": int(count("solver.unknown")),
+            "decided_by_simplification":
+                int(count("solver.decided_by_simplification")),
+            "total_time": round(count("solver.total_time"), 6),
+            "sat_calls": int(count("solver.sat_calls")),
+            "restarts": int(count("solver.restarts")),
+            "conflicts": int(count("solver.conflicts")),
+            "decisions": int(count("solver.decisions")),
+            "propagations": int(count("solver.propagations")),
+            "blasted_clauses": int(count("solver.blasted_clauses")),
+            "blast_hits": int(count("solver.blast_hits")),
+            "assumption_failures": int(count("solver.assumption_failures")),
+            "oracle_sat": int(count("solver.oracle_sat")),
+            "oracle_unsat": int(count("solver.oracle_unsat")),
+            "backend_wins": dict(sorted(wins.items())),
         }
 
 
@@ -539,8 +551,12 @@ class Solver:
             if effective_timeout is not None:
                 remaining = max(0.0,
                                 effective_timeout - (time.monotonic() - start))
-            answer = portfolio.solve(max_conflicts=self.max_conflicts,
-                                     timeout=remaining)
+            # The race winner stays out of the span args on purpose: it is
+            # thread-timing dependent, and span identities must not be
+            # (wins are still counted in SolverStats.backend_wins).
+            with span("solver.race"):
+                answer = portfolio.solve(max_conflicts=self.max_conflicts,
+                                         timeout=remaining)
         finally:
             portfolio.close()
         self._account_backend_work(answer, cnf, blaster, 0, 0)
@@ -570,9 +586,10 @@ class Solver:
         if effective_timeout is not None:
             remaining = max(0.0,
                             effective_timeout - (time.monotonic() - start))
-        answer = self._portfolio.solve(assume,
-                                       max_conflicts=self.max_conflicts,
-                                       timeout=remaining)
+        with span("solver.race"):
+            answer = self._portfolio.solve(assume,
+                                           max_conflicts=self.max_conflicts,
+                                           timeout=remaining)
         self._account_backend_work(answer, cnf, blaster, clauses0, hits0)
         return self._apply_backend_answer(answer, blaster,
                                           self.assertions() + list(deltas),

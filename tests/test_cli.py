@@ -248,3 +248,76 @@ def test_fuzz_deterministic_stream(tmp_path):
                  "--out", str(first)]) == \
         main(["fuzz", "--budget", "5", "--seed", "3", "--out", str(second)])
     assert first.read_bytes() == second.read_bytes()
+
+
+# ---------------------------------------------------------------------------
+# Observability flags (--version, --trace, --profile)
+# ---------------------------------------------------------------------------
+
+
+@pytest.mark.parametrize("argv", [["--version"], ["fuzz", "--version"],
+                                  ["cluster", "--version"]],
+                         ids=["check", "fuzz", "cluster"])
+def test_version_flag_on_every_subcommand(argv, capsys):
+    from repro import __version__
+
+    with pytest.raises(SystemExit) as excinfo:
+        main(argv)
+    assert excinfo.value.code == 0
+    assert f"repro {__version__}" in capsys.readouterr().out
+
+
+def test_trace_writes_loadable_chrome_trace(tmp_path, capsys):
+    from repro.obs.chrometrace import validate_chrome_trace
+
+    trace = tmp_path / "trace.json"
+    code = main([write(tmp_path, "unstable.c", UNSTABLE),
+                 "--trace", str(trace), "--profile"])
+    captured = capsys.readouterr()
+    assert code == 1
+    document = json.loads(trace.read_text(encoding="utf-8"))
+    validate_chrome_trace(document)
+    names = [event["name"] for event in document["traceEvents"]]
+    for stage in ("stage1.parse", "stage2.encode", "stage4.report",
+                  "solver.query"):
+        assert stage in names, stage
+    # --profile prints the text profile to stderr, report stays on stdout.
+    assert "self" in captured.err or "solver" in captured.err
+    assert "unstable code" in captured.out
+
+
+def test_cluster_trace_writes_loadable_chrome_trace(tmp_path, capsys):
+    from repro.obs.chrometrace import validate_chrome_trace
+
+    trace = tmp_path / "trace.json"
+    main(["cluster", "--synthetic", "6", "--trace", str(trace)])
+    capsys.readouterr()
+    document = json.loads(trace.read_text(encoding="utf-8"))
+    validate_chrome_trace(document)
+    assert any(event["name"].startswith("unit:")
+               for event in document["traceEvents"])
+
+
+def test_run_summary_records_carry_version_and_config(tmp_path, capsys):
+    from repro import __version__
+    from repro.engine.engine import CheckEngine, EngineConfig
+
+    results = tmp_path / "results.jsonl"
+    engine = CheckEngine(EngineConfig(workers=0, results_path=str(results)))
+    engine.check_corpus([("u0", STABLE)])
+    records = [json.loads(line) for line in results.read_text().splitlines()]
+    summary = [r for r in records if r["type"] == "run"]
+    assert summary, [r["type"] for r in records]
+    assert summary[0]["version"] == __version__
+    assert summary[0]["config"]["engine"]["workers"] == 0
+    assert summary[0]["config"]["checker"]["trace"] is False
+
+    fuzz_out = tmp_path / "fuzz.jsonl"
+    main(["fuzz", "--budget", "2", "--seed", "5", "--out", str(fuzz_out)])
+    capsys.readouterr()
+    records = [json.loads(line) for line in fuzz_out.read_text().splitlines()]
+    summary = [r for r in records if r["type"] == "fuzz-run"]
+    assert summary[0]["version"] == __version__
+    assert summary[0]["config"]["seed"] == 5
+    # Environment knobs stay out of the identity-bearing summary.
+    assert "out" not in summary[0]["config"]

@@ -1,0 +1,85 @@
+"""Trace determinism contract (ISSUE satellite: workers 1/2/4, reruns).
+
+Span *identity* — ids, structure, names, seq, args — must be a pure
+function of the work, never of scheduling: the assembled span tree is
+byte-identical whatever the worker count, across repeated runs, and
+whether or not the solver-query cache answered a query (the ``solver.query``
+span carries only the verdict, which is equal either way).  Timings ride
+out-of-band and are excluded from the comparison.
+"""
+
+import json
+
+import pytest
+
+from repro.core.checker import CheckerConfig
+from repro.corpus.snippets import SNIPPETS
+from repro.engine.engine import CheckEngine, EngineConfig
+from repro.obs.trace import span_payloads
+
+
+def _corpus():
+    return [(s.name, s.render("obsdet")) for s in SNIPPETS[:8]]
+
+
+def _traced_payload_blob(workers, validate=True):
+    engine = CheckEngine(EngineConfig(
+        workers=workers,
+        checker=CheckerConfig(validate_witnesses=validate, trace=True)))
+    outcome = engine.check_corpus(_corpus())
+    assert outcome.trace is not None
+    # Byte-level contract: serialize the identity payloads, compare blobs.
+    return json.dumps(span_payloads(outcome.trace), sort_keys=True)
+
+
+@pytest.fixture(scope="module")
+def sequential_blob():
+    return _traced_payload_blob(0)
+
+
+def test_span_tree_identical_across_worker_counts(sequential_blob):
+    for workers in (2, 4):
+        assert _traced_payload_blob(workers) == sequential_blob, \
+            f"workers={workers}"
+
+
+def test_span_tree_identical_across_reruns(sequential_blob):
+    assert _traced_payload_blob(0) == sequential_blob
+
+
+def test_span_tree_unaffected_by_cache_contents(sequential_blob):
+    # A cache-cold run and a cache-disabled run produce the same identity
+    # payloads: cache hits answer queries but never change span identity.
+    engine = CheckEngine(EngineConfig(
+        workers=0, cache_enabled=False,
+        checker=CheckerConfig(validate_witnesses=True, trace=True)))
+    outcome = engine.check_corpus(_corpus())
+    blob = json.dumps(span_payloads(outcome.trace), sort_keys=True)
+    assert blob == sequential_blob
+
+
+def test_span_tree_changes_with_the_work(sequential_blob):
+    engine = CheckEngine(EngineConfig(
+        workers=0, checker=CheckerConfig(validate_witnesses=True, trace=True)))
+    outcome = engine.check_corpus(_corpus()[:4])
+    blob = json.dumps(span_payloads(outcome.trace), sort_keys=True)
+    assert blob != sequential_blob
+
+
+def test_chrome_trace_identity_portion_is_deterministic(tmp_path):
+    # Full Chrome-trace files differ only in the timing fields: strip
+    # ts/dur and the remaining event stream is byte-identical.
+    def stripped(workers):
+        path = tmp_path / f"w{workers}.json"
+        engine = CheckEngine(EngineConfig(
+            workers=workers, trace_path=str(path),
+            checker=CheckerConfig(validate_witnesses=True)))
+        engine.check_corpus(_corpus())
+        document = json.loads(path.read_text(encoding="utf-8"))
+        for event in document["traceEvents"]:
+            event.pop("ts", None)
+            event.pop("dur", None)
+        document.get("otherData", {}).pop("metrics", None)
+        return json.dumps(document["traceEvents"], sort_keys=True)
+
+    assert stripped(0) == stripped(2)
