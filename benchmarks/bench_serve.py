@@ -1,0 +1,136 @@
+"""Always-on service benchmark: verdict identity and the warm-worker win.
+
+The daemon's two contracts (docs/SERVE.md) measured together:
+
+* **Verdict identity** — a corpus submitted to ``repro serve`` must stream
+  byte-identical per-unit verdict records (timing fields normalized via
+  :func:`repro.engine.sink.verdict_view`) to what the batch CLI
+  (``python -m repro cluster --no-cluster``) writes for the same corpus.
+  Both sides run one sequential checking pipeline (a single warm worker vs.
+  the CLI's default sequential engine): cache-hit counters are part of the
+  record, and only equivalent pipelines replay the cache identically.
+* **Warm latency** — once the daemon's workers and solver-query cache are
+  warm, submitting one more unit must beat a cold CLI invocation of the
+  same unit, which pays interpreter boot, pipeline imports, and an empty
+  cache every time.  ``--bench-fast`` relaxes the required margin to >1×
+  (loaded CI boxes make tight ratios flaky); the full run demands ≥2×.
+
+Metrics land in ``BENCH_serve.json`` via the ``record_bench`` fixture.
+"""
+
+import json
+import os
+import subprocess
+import sys
+import time
+
+from repro.cluster import synthetic_cluster_corpus
+from repro.engine.sink import verdict_view
+from repro.serve import ServeClient, ServeConfig, ServeServer
+
+
+def _repo_env():
+    import repro
+
+    env = dict(os.environ)
+    env["PYTHONPATH"] = os.path.dirname(os.path.dirname(repro.__file__))
+    return env
+
+
+def _batch_cli_records(paths, out_path):
+    subprocess.run(
+        [sys.executable, "-m", "repro", "cluster", "--no-cluster",
+         *paths, "--out", str(out_path)],
+        check=False, capture_output=True, env=_repo_env(), timeout=600)
+    return [json.loads(line) for line in
+            open(out_path, encoding="utf-8") if line.strip()]
+
+
+def _cold_cli_latency(path):
+    started = time.monotonic()
+    result = subprocess.run(
+        [sys.executable, "-m", "repro", "check", str(path), "--json"],
+        capture_output=True, env=_repo_env(), timeout=600)
+    elapsed = time.monotonic() - started
+    assert result.returncode in (0, 1), result.stderr
+    return elapsed
+
+
+def test_serve_verdict_identity_and_warm_latency(tmp_path, once, fast_mode,
+                                                 engine_workers,
+                                                 record_bench):
+    instances = 12 if fast_mode else 40
+    corpus = synthetic_cluster_corpus(instances, seed=0)
+    paths = []
+    units = []
+    for name, source in corpus:
+        path = tmp_path / f"{name}.c"
+        path.write_text(source, encoding="utf-8")
+        paths.append(str(path))
+        units.append((str(path), source))
+
+    batch_out = tmp_path / "batch.jsonl"
+    socket_path = str(tmp_path / "bench.sock")
+    workers = 1                               # sequential, like the batch CLI
+
+    def run():
+        batch_records = _batch_cli_records(paths, batch_out)
+        server = ServeServer(ServeConfig(socket_path=socket_path,
+                                         workers=workers))
+        server.start()
+        try:
+            with ServeClient(socket_path, name="bench") as client:
+                served_records = client.check(units, timeout=600.0)
+                # One extra unit against the now-warm daemon: structurally
+                # alpha-equivalent to the corpus, so it replays from cache.
+                warm_unit = (str(tmp_path / "warm-probe.c"), corpus[0][1])
+                warm_started = time.monotonic()
+                warm_records = client.check([warm_unit], timeout=600.0)
+                warm_latency = time.monotonic() - warm_started
+        finally:
+            server.close()
+        cold_latency = _cold_cli_latency(paths[0])
+        return (batch_records, served_records, warm_records,
+                warm_latency, cold_latency)
+
+    (batch_records, served_records, warm_records,
+     warm_latency, cold_latency) = once(run)
+
+    # (a) Byte-identical per-unit verdict records, served vs. batch CLI.
+    batch_units = [r for r in batch_records if r["type"] == "unit"]
+    served_units = [r for r in served_records if r["type"] == "unit"]
+    assert len(batch_units) == len(served_units) == len(corpus)
+    for served, batch in zip(served_units, batch_units):
+        assert json.dumps(verdict_view(served), sort_keys=True) == \
+            json.dumps(verdict_view(batch), sort_keys=True), served["unit"]
+
+    # (b) The warm submission answered from the resident cache...
+    warm_run = warm_records[-1]
+    assert warm_run["type"] == "run"
+    assert warm_run["solver_queries"] == 0
+    assert warm_run["cache_hits"] > 0
+
+    # ...and beat the cold CLI's end-to-end latency.
+    speedup = cold_latency / warm_latency
+    floor = 1.0 if fast_mode else 2.0
+    assert speedup > floor, (
+        f"warm submit {warm_latency:.3f}s vs cold CLI {cold_latency:.3f}s "
+        f"— only {speedup:.2f}x")
+
+    record_bench("serve", {
+        "cold_cli_latency": round(cold_latency, 6),
+        "corpus_units": len(corpus),
+        "diagnostics": sum(len(u["diagnostics"]) for u in served_units),
+        "verdict_identical_units": len(served_units),
+        "warm_cache_hits": warm_run["cache_hits"],
+        "warm_latency": round(warm_latency, 6),
+        "warm_speedup": round(speedup, 4),
+        "workers": workers,
+    })
+
+    print()
+    print(f"corpus: {len(corpus)} units, {workers} warm workers")
+    print(f"verdict identity: {len(served_units)} served records match "
+          f"the batch CLI byte for byte")
+    print(f"warm submit: {warm_latency * 1000:.0f}ms vs cold CLI "
+          f"{cold_latency * 1000:.0f}ms — {speedup:.1f}x")

@@ -31,6 +31,11 @@ This package re-implements the full system in Python:
   deterministic hierarchical spans across every pipeline stage, a unified
   counter/gauge/histogram registry behind the existing stats objects, and
   Chrome trace-event / JSONL / text-profile exporters (docs/OBSERVABILITY.md),
+* :mod:`repro.serve` — the always-on checking service (``python -m repro
+  serve`` / ``submit``): a daemon holding warm engine workers and the
+  solver-query cache resident across jobs, speaking line-delimited JSON
+  over a Unix socket with deterministic scheduling, quotas, backpressure,
+  and graceful drain (docs/SERVE.md),
 * :mod:`repro.experiments` — drivers that regenerate every table and figure.
 
 Quickstart::
@@ -72,6 +77,10 @@ __all__ = [
     "FuzzConfig",
     "FuzzResult",
     "run_fuzz_campaign",
+    "ServeClient",
+    "ServeConfig",
+    "ServeServer",
+    "check_via_server",
     "MetricsRegistry",
     "Span",
     "Tracer",
@@ -104,6 +113,10 @@ _LAZY_ATTRS = {
     "FuzzConfig": ("repro.fuzz.campaign", "FuzzConfig"),
     "FuzzResult": ("repro.fuzz.campaign", "FuzzResult"),
     "run_fuzz_campaign": ("repro.fuzz.campaign", "run_fuzz_campaign"),
+    "ServeClient": ("repro.serve.client", "ServeClient"),
+    "ServeConfig": ("repro.serve.server", "ServeConfig"),
+    "ServeServer": ("repro.serve.server", "ServeServer"),
+    "check_via_server": ("repro.serve.client", "check_via_server"),
     "MetricsRegistry": ("repro.obs.metrics", "MetricsRegistry"),
     "Span": ("repro.obs.trace", "Span"),
     "Tracer": ("repro.obs.trace", "Tracer"),

@@ -23,17 +23,29 @@ representative per cluster is solved; confirmed members receive the
 propagated verdict.  ``--no-cluster`` runs the same corpus exhaustively
 for A/B comparisons.
 
+``python -m repro serve`` runs the always-on checking daemon
+(docs/SERVE.md): a pool of warm worker processes behind a local socket,
+accepting jobs over line-delimited JSON and streaming engine-schema
+records back.  ``python -m repro submit`` is its command-line client:
+submit source files (or ``--stdin``) as one job and print the streamed
+JSONL records.  ``check`` is an explicit alias for the default one-file
+mode, where ``--stdin`` (or a ``-`` source) reads the unit from stdin.
+
 Exit status (all modes): 0 — no unstable code, 1 — warnings/unstable
 findings reported (for ``fuzz``, any anomaly counts: diagnostics,
 miscompiles, failed units, expectation mismatches; for ``cluster``,
-diagnostics or failed units), 2 — the input could not be compiled or
-read (or the campaign/corpus configuration was invalid).
+diagnostics or failed units; for ``submit``, diagnostics or errored
+units), 2 — the input could not be compiled or read (or the
+campaign/corpus/daemon configuration was invalid), 130 — interrupted
+(Ctrl-C or SIGTERM; engine-backed modes flush their JSONL stream first,
+with the partial run summary marked ``"interrupted": true``).
 """
 
 from __future__ import annotations
 
 import argparse
 import json
+import signal
 import sys
 from typing import List, Optional
 
@@ -54,8 +66,12 @@ def build_parser() -> argparse.ArgumentParser:
         description="STACK reproduction: find optimization-unstable code "
                     "in a C-like source file.")
     _add_version(parser)
-    parser.add_argument("source", help="path to a C-like source file, or '-' "
-                                       "to read from stdin")
+    parser.add_argument("source", nargs="?", default=None,
+                        help="path to a C-like source file, or '-' to read "
+                             "from stdin")
+    parser.add_argument("--stdin", action="store_true",
+                        help="read the translation unit from stdin "
+                             "(equivalent to a '-' source)")
     parser.add_argument("--json", action="store_true",
                         help="emit the engine's JSONL unit record instead of "
                              "the human-readable report")
@@ -174,6 +190,12 @@ def fuzz_main(argv: Optional[List[str]] = None) -> int:
     except (ValueError, OSError) as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 2
+    except KeyboardInterrupt:
+        message = "fuzz campaign interrupted; partial summary flushed"
+        if args.out:
+            message += f" to {args.out}"
+        print(message, file=sys.stderr)
+        return 130
     stats = result.stats
     print(f"fuzz campaign: seed {stats.seed}, {stats.programs} programs "
           f"({stats.minic_programs} MiniC, {stats.ir_programs} IR), "
@@ -244,7 +266,8 @@ def build_cluster_parser() -> argparse.ArgumentParser:
 def cluster_main(argv: Optional[List[str]] = None) -> int:
     args = build_cluster_parser().parse_args(argv)
     from repro.cluster import synthetic_cluster_corpus
-    from repro.engine.engine import CheckEngine, EngineConfig
+    from repro.engine.engine import CheckEngine, EngineConfig, \
+        EngineInterrupted
 
     corpus = []
     for path in args.sources:
@@ -270,7 +293,16 @@ def cluster_main(argv: Optional[List[str]] = None) -> int:
         results_path=args.out,
         trace_path=args.trace,
     )
-    result = CheckEngine(config).check_corpus(corpus)
+    try:
+        result = CheckEngine(config).check_corpus(corpus)
+    except EngineInterrupted as exc:
+        stats = exc.result.stats
+        print(f"interrupted: {stats.units} of {len(corpus)} units checked; "
+              "partial results flushed", file=sys.stderr)
+        if args.out:
+            print(f"  JSONL stream: {args.out} "
+                  "(summary marked \"interrupted\": true)", file=sys.stderr)
+        return 130
     stats = result.stats
 
     mode = "exhaustive" if args.no_cluster else "clustered"
@@ -291,18 +323,235 @@ def cluster_main(argv: Optional[List[str]] = None) -> int:
     return 1 if stats.diagnostics or stats.failed_units else 0
 
 
+def build_serve_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro serve",
+        description="Run the always-on checking daemon: warm workers behind "
+                    "a local socket, streaming JSONL results (docs/SERVE.md).")
+    _add_version(parser)
+    parser.add_argument("--socket", metavar="PATH",
+                        default="repro-serve.sock",
+                        help="Unix-domain socket to listen on "
+                             "(default: repro-serve.sock)")
+    parser.add_argument("--workers", type=int, default=2, metavar="N",
+                        help="warm worker processes held resident "
+                             "(default: 2)")
+    parser.add_argument("--cache", metavar="PATH", default=None,
+                        help="warm the shared solver-query cache from PATH "
+                             "on start and flush it there on drain")
+    parser.add_argument("--results-dir", metavar="DIR", default=None,
+                        help="also write one <job>.jsonl result stream per "
+                             "job under DIR")
+    parser.add_argument("--timeout", type=float, default=5.0,
+                        metavar="SECONDS",
+                        help="default per-query solver timeout "
+                             "(default: 5.0; jobs may override)")
+    parser.add_argument("--max-conflicts", type=int, default=50_000,
+                        metavar="N", help="default per-query CDCL conflict "
+                                          "budget (default: 50000)")
+    parser.add_argument("--max-queue", type=int, default=4096, metavar="N",
+                        help="global bound on admitted-but-undispatched "
+                             "units (default: 4096)")
+    parser.add_argument("--quota", type=int, default=1024, metavar="N",
+                        help="per-client bound on outstanding units "
+                             "(default: 1024)")
+    parser.add_argument("--trace", metavar="OUT.json", default=None,
+                        help="record server-lifetime spans (one subtree per "
+                             "job) and write a Chrome trace-event JSON on "
+                             "drain")
+    return parser
+
+
+def serve_main(argv: Optional[List[str]] = None) -> int:
+    args = build_serve_parser().parse_args(argv)
+    from repro.serve import ServeConfig, ServeServer
+
+    signals = {"drain": False, "reload": False}
+
+    def _on_sigterm(_signum, _frame):
+        signals["drain"] = True
+
+    def _on_sighup(_signum, _frame):
+        signals["drain"] = True
+        signals["reload"] = True
+
+    try:
+        signal.signal(signal.SIGTERM, _on_sigterm)
+        if hasattr(signal, "SIGHUP"):
+            signal.signal(signal.SIGHUP, _on_sighup)
+    except ValueError:
+        pass                                  # not the main thread (tests)
+
+    while True:                               # one iteration per SIGHUP reload
+        config = ServeConfig(
+            socket_path=args.socket, workers=args.workers,
+            checker=CheckerConfig(solver_timeout=args.timeout,
+                                  max_conflicts=args.max_conflicts),
+            cache_path=args.cache, results_dir=args.results_dir,
+            max_queued_units=args.max_queue, client_quota=args.quota,
+            trace_path=args.trace)
+        server = ServeServer(config)
+        try:
+            server.start()
+        except OSError as exc:
+            print(f"error: cannot listen on {args.socket}: {exc}",
+                  file=sys.stderr)
+            return 2
+        pids = " ".join(str(pid) for pid in server.worker_pids)
+        print(f"serve: listening on {args.socket} "
+              f"({args.workers} workers: {pids})", flush=True)
+        while server.running:
+            if signals["drain"]:
+                signals["drain"] = False
+                server.request_drain(reason="signal",
+                                     reload=signals["reload"])
+                signals["reload"] = False
+            try:
+                server.serve_forever(timeout=0.2)
+            except KeyboardInterrupt:         # Ctrl-C drains gracefully too
+                server.request_drain(reason="SIGINT")
+        if not server.reload_requested:
+            print("serve: drained, exiting", flush=True)
+            return 0
+        print("serve: drained, reloading", flush=True)
+
+
+def build_submit_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro submit",
+        description="Submit a job to a running checking daemon and stream "
+                    "its JSONL records to stdout (docs/SERVE.md).")
+    _add_version(parser)
+    parser.add_argument("sources", nargs="*", metavar="FILE",
+                        help="C-like source files forming the job")
+    parser.add_argument("--stdin", action="store_true",
+                        help="additionally read one translation unit from "
+                             "stdin")
+    parser.add_argument("--socket", metavar="PATH",
+                        default="repro-serve.sock",
+                        help="daemon socket to connect to "
+                             "(default: repro-serve.sock)")
+    parser.add_argument("--priority", type=int, default=0, metavar="N",
+                        help="job priority: higher dispatches first "
+                             "(default: 0)")
+    parser.add_argument("--name", metavar="NAME", default="repro-submit",
+                        help="client name reported to the daemon")
+    parser.add_argument("--timeout", type=float, default=None,
+                        metavar="SECONDS",
+                        help="per-query solver timeout override for this job")
+    parser.add_argument("--out", metavar="PATH", default=None,
+                        help="also append every streamed record to PATH "
+                             "(reproduces a batch run's results file)")
+    parser.add_argument("--status", action="store_true",
+                        help="print the daemon's status JSON and exit")
+    parser.add_argument("--drain", action="store_true",
+                        help="ask the daemon to drain and shut down, "
+                             "then exit")
+    return parser
+
+
+def submit_main(argv: Optional[List[str]] = None) -> int:
+    args = build_submit_parser().parse_args(argv)
+    from repro.serve import ServeClient, ServeError, SubmitRejected
+
+    try:
+        client = ServeClient(args.socket, name=args.name)
+    except ServeError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    try:
+        if args.status:
+            print(json.dumps(client.status(), indent=2, sort_keys=True))
+            return 0
+        if args.drain:
+            client.drain()
+            print("drain requested", file=sys.stderr)
+            return 0
+        units = []
+        for path in args.sources:
+            try:
+                with open(path, "r", encoding="utf-8") as handle:
+                    units.append((path, handle.read()))
+            except OSError as exc:
+                print(f"error: cannot read {path}: {exc}", file=sys.stderr)
+                return 2
+        if args.stdin:
+            units.append(("<stdin>", sys.stdin.read()))
+        if not units:
+            print("error: empty job (pass source files or --stdin)",
+                  file=sys.stderr)
+            return 2
+        checker = {"solver_timeout": args.timeout} \
+            if args.timeout is not None else None
+        try:
+            job = client.submit(units, priority=args.priority,
+                                checker=checker)
+        except SubmitRejected as exc:
+            print(f"error: submission rejected ({exc.reason}): {exc.detail}",
+                  file=sys.stderr)
+            return 2
+        out = open(args.out, "w", encoding="utf-8") if args.out else None
+        findings = 0
+        try:
+            for record in job.records():
+                line = json.dumps(record)
+                print(line, flush=True)
+                if out is not None:
+                    out.write(line + "\n")
+                if record.get("type") == "unit" and (
+                        record.get("diagnostics") or record.get("error")):
+                    findings += 1
+        finally:
+            if out is not None:
+                out.close()
+        return 1 if findings else 0
+    except ServeError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    finally:
+        client.close()
+
+
+def _raise_keyboard_interrupt(_signum, _frame):
+    raise KeyboardInterrupt
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     if argv is None:
         argv = sys.argv[1:]
-    if argv and argv[0] == "fuzz":
-        return fuzz_main(argv[1:])
-    if argv and argv[0] == "cluster":
-        return cluster_main(argv[1:])
+    if argv and argv[0] == "serve":
+        return serve_main(argv[1:])           # installs its own drain handlers
+    try:
+        previous = signal.signal(signal.SIGTERM, _raise_keyboard_interrupt)
+    except ValueError:                        # not the main thread (tests)
+        previous = None
+    try:
+        if argv and argv[0] == "fuzz":
+            return fuzz_main(argv[1:])
+        if argv and argv[0] == "cluster":
+            return cluster_main(argv[1:])
+        if argv and argv[0] == "submit":
+            return submit_main(argv[1:])
+        if argv and argv[0] == "check":
+            argv = argv[1:]
+        return check_main(argv)
+    except KeyboardInterrupt:
+        print("interrupted", file=sys.stderr)
+        return 130
+    finally:
+        if previous is not None:
+            signal.signal(signal.SIGTERM, previous)
+
+
+def check_main(argv: Optional[List[str]] = None) -> int:
     args = build_parser().parse_args(argv)
 
-    if args.source == "-":
+    if args.stdin or args.source == "-":
         source = sys.stdin.read()
         filename = "<stdin>"
+    elif args.source is None:
+        print("error: pass a source file (or --stdin)", file=sys.stderr)
+        return 2
     else:
         try:
             with open(args.source, "r", encoding="utf-8") as handle:

@@ -17,14 +17,17 @@ __all__ = [
     "CacheEntry",
     "CheckEngine",
     "EngineConfig",
+    "EngineInterrupted",
     "EngineResult",
     "JsonlResultSink",
     "RunStats",
     "SolverQueryCache",
     "UnitResult",
     "WorkUnit",
+    "aggregate_results",
     "canonical_query_key",
     "check_work_unit",
+    "verdict_view",
 ]
 
 _LAZY_ATTRS = {
@@ -33,9 +36,12 @@ _LAZY_ATTRS = {
     "canonical_query_key": ("repro.engine.cache", "canonical_query_key"),
     "CheckEngine": ("repro.engine.engine", "CheckEngine"),
     "EngineConfig": ("repro.engine.engine", "EngineConfig"),
+    "EngineInterrupted": ("repro.engine.engine", "EngineInterrupted"),
     "EngineResult": ("repro.engine.engine", "EngineResult"),
     "RunStats": ("repro.engine.engine", "RunStats"),
+    "aggregate_results": ("repro.engine.engine", "aggregate_results"),
     "JsonlResultSink": ("repro.engine.sink", "JsonlResultSink"),
+    "verdict_view": ("repro.engine.sink", "verdict_view"),
     "UnitResult": ("repro.engine.workunit", "UnitResult"),
     "WorkUnit": ("repro.engine.workunit", "WorkUnit"),
     "check_work_unit": ("repro.engine.workunit", "check_work_unit"),

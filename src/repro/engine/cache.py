@@ -43,9 +43,11 @@ for the layer diagram.
 
 from __future__ import annotations
 
+import contextlib
 import hashlib
 import json
 import os
+import tempfile
 from collections import OrderedDict
 from dataclasses import dataclass
 from typing import Dict, Iterable, List, Optional, Sequence
@@ -228,14 +230,44 @@ class CacheEntry:
         return True
 
 
+@contextlib.contextmanager
+def _advisory_lock(path: str):
+    """Exclusive advisory file lock guarding cache-file rewrites.
+
+    Serializes flushes from *cooperating* processes — the checking daemon
+    and batch CLI runs pointed at one ``cache_path`` — via ``flock`` on a
+    sidecar ``<path>.lock`` file.  On platforms without ``fcntl`` the lock
+    degrades to a no-op; the atomic temp-file rename in :meth:`flush` still
+    guarantees readers never observe a torn file, only that two
+    simultaneous writers may each publish a complete (last-wins) file.
+    """
+    try:
+        import fcntl
+    except ImportError:                       # non-POSIX: rename-only safety
+        yield
+        return
+    directory = os.path.dirname(path)
+    if directory:
+        os.makedirs(directory, exist_ok=True)
+    with open(path, "a+", encoding="utf-8") as handle:
+        fcntl.flock(handle.fileno(), fcntl.LOCK_EX)
+        try:
+            yield
+        finally:
+            fcntl.flock(handle.fileno(), fcntl.LOCK_UN)
+
+
 class SolverQueryCache:
     """In-process LRU of solver verdicts, persistable to disk as JSONL.
 
     The cache is shared by every :class:`~repro.core.queries.QueryEngine`
-    a checker run creates.  ``flush()`` appends entries added since the last
-    flush to ``path`` (append-only JSONL, so concurrent runs over different
-    corpora can share one cache file), and a fresh cache constructed with the
-    same ``path`` starts warm.
+    a checker run creates.  ``flush()`` *merges* entries added since the
+    last flush into the JSONL file at ``path`` — under an advisory file
+    lock, rewriting via a same-directory temp file and an atomic rename —
+    so a long-running daemon and concurrent batch CLI runs can safely
+    share one cache file: no interleaved or torn records, no lost entries,
+    definitive verdicts never downgraded.  A fresh cache constructed with
+    the same ``path`` starts warm.
     """
 
     def __init__(self, capacity: int = 100_000,
@@ -359,7 +391,18 @@ class SolverQueryCache:
         return loaded
 
     def flush(self, path: Optional[str] = None) -> int:
-        """Append entries added since the last flush to the JSONL file."""
+        """Merge entries added since the last flush into the JSONL file.
+
+        Concurrent-writer safe: the whole read-merge-rewrite runs under an
+        exclusive advisory lock (``<path>.lock``), re-reads entries other
+        processes published since this cache loaded, merges this cache's
+        unflushed entries on top (definitive verdicts win over ``unknown``;
+        an ``unknown`` only replaces another under a strictly larger
+        budget), writes the result to a same-directory temp file, and
+        atomically renames it into place.  Readers therefore always see a
+        complete file, and cooperating writers never lose each other's
+        entries.  Returns how many of this cache's entries were merged in.
+        """
         target = path if path is not None else self.path
         if target is None or not self._unflushed:
             self._unflushed = []
@@ -368,10 +411,47 @@ class SolverQueryCache:
         if directory:
             os.makedirs(directory, exist_ok=True)
         written = 0
-        with open(target, "a", encoding="utf-8") as handle:
+        with _advisory_lock(target + ".lock"):
+            merged: "OrderedDict[str, CacheEntry]" = OrderedDict()
+            if os.path.exists(target):
+                with open(target, "r", encoding="utf-8") as handle:
+                    for line in handle:
+                        line = line.strip()
+                        if not line:
+                            continue
+                        try:
+                            data = json.loads(line)
+                        except json.JSONDecodeError:
+                            continue       # pre-lock legacy torn line
+                        if "key" not in data or \
+                                data.get("verdict") not in _VERDICTS:
+                            continue
+                        merged[str(data["key"])] = CacheEntry.from_dict(data)
             for entry in self._unflushed:
-                handle.write(json.dumps(entry.as_dict()) + "\n")
+                existing = merged.get(entry.key)
+                if existing is not None:
+                    if existing.verdict != VERDICT_UNKNOWN:
+                        continue           # never downgrade a definitive one
+                    if entry.verdict == VERDICT_UNKNOWN and \
+                            not entry.budget_covers(existing.timeout,
+                                                    existing.max_conflicts):
+                        continue           # keep the larger-budget unknown
+                merged[entry.key] = entry
                 written += 1
+            fd, temp_path = tempfile.mkstemp(
+                prefix=os.path.basename(target) + ".",
+                suffix=".tmp", dir=directory or ".")
+            try:
+                with os.fdopen(fd, "w", encoding="utf-8") as handle:
+                    for entry in merged.values():
+                        handle.write(json.dumps(entry.as_dict()) + "\n")
+                    handle.flush()
+                    os.fsync(handle.fileno())
+                os.replace(temp_path, target)
+            except BaseException:
+                with contextlib.suppress(OSError):
+                    os.unlink(temp_path)
+                raise
         self._unflushed = []
         return written
 

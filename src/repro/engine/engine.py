@@ -191,6 +191,67 @@ class RunStats:
         }
 
 
+def aggregate_results(results: Sequence[UnitResult], wall_clock: float,
+                      workers: int = 1) -> RunStats:
+    """Fold per-unit results into one :class:`RunStats`.
+
+    Shared by the engine (one call per run) and the checking daemon (one
+    call per served job — docs/SERVE.md), so batch and served run-summary
+    records are built by the same code.
+    """
+    stats = RunStats(workers=max(1, workers), wall_clock=wall_clock)
+    for result in results:
+        stats.units += 1
+        if not result.ok:
+            stats.failed_units += 1
+        if result.escalated:
+            stats.escalated_units += 1
+        report = result.report
+        stats.functions += len(report.functions)
+        stats.diagnostics += len(report.bugs)
+        stats.queries += report.queries
+        stats.cache_hits += report.cache_hits
+        stats.timeouts += report.timeouts
+        stats.analysis_time += report.analysis_time
+        stats.contexts += report.contexts
+        stats.sat_calls += report.sat_calls
+        stats.restarts += report.restarts
+        stats.blasted_clauses += report.blasted_clauses
+        stats.solver_time += report.solver_time
+        stats.oracle_sat += report.oracle_sat
+        stats.oracle_unsat += report.oracle_unsat
+        for name, wins in report.backend_wins.items():
+            stats.backend_wins[name] = stats.backend_wins.get(name, 0) + wins
+        stats.witnesses_confirmed += report.witnesses_confirmed
+        stats.witnesses_unconfirmed += report.witnesses_unconfirmed
+        stats.witnesses_inconclusive += report.witnesses_inconclusive
+        stats.witness_time += report.witness_time
+        stats.repairs_attempted += report.repairs_attempted
+        stats.repairs_succeeded += report.repairs_succeeded
+        stats.repairs_rejected += report.repairs_rejected
+        stats.repairs_no_template += report.repairs_no_template
+        stats.repair_gate_equivalence_rejects += \
+            report.repair_gate_equivalence_rejects
+        stats.repair_gate_recheck_rejects += report.repair_gate_recheck_rejects
+        stats.repair_gate_replay_rejects += report.repair_gate_replay_rejects
+        stats.repair_time += report.repair_time
+    stats.solver_queries = stats.queries - stats.cache_hits
+    return stats
+
+
+class EngineInterrupted(KeyboardInterrupt):
+    """A run cut short by SIGINT/SIGTERM, carrying its partial result.
+
+    Raised by :meth:`CheckEngine.check_corpus` after the partial run summary
+    (marked ``"interrupted": true``) has been flushed to the JSONL sink, so
+    callers — the CLI exits 130 — still see everything that finished.
+    """
+
+    def __init__(self, result: "EngineResult") -> None:
+        super().__init__("engine run interrupted")
+        self.result = result
+
+
 @dataclass
 class EngineResult:
     """Everything one engine run produced."""
@@ -267,20 +328,35 @@ class CheckEngine:
     # -- public API ----------------------------------------------------------------
 
     def check_corpus(self, units: Iterable[UnitLike]) -> EngineResult:
-        """Check every unit of a corpus; see module docstring for semantics."""
+        """Check every unit of a corpus; see module docstring for semantics.
+
+        A ``KeyboardInterrupt`` (SIGINT, or SIGTERM routed through the CLI)
+        does not lose finished work: the partial run summary is written to
+        the sink with ``"interrupted": true``, the cache is flushed, and
+        :class:`EngineInterrupted` re-raises with the partial result.
+        """
         work = [self._coerce(unit, index) for index, unit in enumerate(units)]
         started = time.monotonic()
         sink = JsonlResultSink(self.config.results_path) \
             if self.config.results_path else None
         self._aux_trace_blobs = []
+        collected: List[UnitResult] = []
+        cluster_stats = None
+        interrupted = False
         try:
-            cluster_stats = None
-            if self.config.checker.cluster:
-                results, cluster_stats = self._run_clustered(work, sink)
-            elif self.config.workers > 1 and len(work) > 1:
-                results = self._run_parallel(work, sink)
-            else:
-                results = self._run_sequential(work, sink)
+            try:
+                if self.config.checker.cluster:
+                    results, cluster_stats = self._run_clustered(
+                        work, sink, collected=collected)
+                elif self.config.workers > 1 and len(work) > 1:
+                    results = self._run_parallel(work, sink,
+                                                 collected=collected)
+                else:
+                    results = self._run_sequential(work, sink,
+                                                   collected=collected)
+            except KeyboardInterrupt:
+                interrupted = True
+                results = list(collected)
             wall_clock = time.monotonic() - started
             stats = self._aggregate(results, wall_clock)
             if cluster_stats is not None:
@@ -290,7 +366,8 @@ class CheckEngine:
                 stats.cluster_confirmed = cluster_stats.confirmed
                 stats.cluster_fallbacks = cluster_stats.fallbacks
                 stats.cluster_time = cluster_stats.cluster_time
-            trace_root, trace_metrics = self._assemble_trace(results, wall_clock)
+            trace_root, trace_metrics = (None, None) if interrupted \
+                else self._assemble_trace(results, wall_clock)
             if trace_root is not None:
                 trace_metrics.merge(stats.registry())
                 if sink is not None:
@@ -302,14 +379,20 @@ class CheckEngine:
                     write_chrome_trace(self.config.trace_path, trace_root,
                                        metrics=trace_metrics.snapshot()["counters"])
             if sink is not None:
-                sink.write_summary(self._summary_dict(stats))
+                summary = self._summary_dict(stats)
+                if interrupted:
+                    summary["interrupted"] = True
+                sink.write_summary(summary)
         finally:
             if sink is not None:
                 sink.close()
         if self.cache is not None and self.config.cache_path is not None:
             self.cache.flush()
-        return EngineResult(results=results, stats=stats,
-                            trace=trace_root, metrics=trace_metrics)
+        outcome = EngineResult(results=results, stats=stats,
+                               trace=trace_root, metrics=trace_metrics)
+        if interrupted:
+            raise EngineInterrupted(outcome)
+        return outcome
 
     def check_modules(self, modules: Iterable[Module]) -> EngineResult:
         """Check already-lowered IR modules (pickled to workers if parallel)."""
@@ -320,6 +403,7 @@ class CheckEngine:
     def _run_sequential(self, work: List[WorkUnit],
                         sink: Optional[JsonlResultSink],
                         config: Optional[CheckerConfig] = None,
+                        collected: Optional[List[UnitResult]] = None,
                         ) -> List[UnitResult]:
         checker = config if config is not None else self.config.checker
         results: List[UnitResult] = []
@@ -330,6 +414,8 @@ class CheckEngine:
                 drain_cache=False)
             result.trace = result.meta.pop("obs", None)
             results.append(result)
+            if collected is not None:
+                collected.append(result)
             if sink is not None:
                 sink.write_unit(result.name, result.report,
                                 attempts=result.attempts,
@@ -340,6 +426,7 @@ class CheckEngine:
     def _run_parallel(self, work: List[WorkUnit],
                       sink: Optional[JsonlResultSink],
                       config: Optional[CheckerConfig] = None,
+                      collected: Optional[List[UnitResult]] = None,
                       ) -> List[UnitResult]:
         checker = config if config is not None else self.config.checker
         workers = min(self.config.workers, len(work))
@@ -360,6 +447,8 @@ class CheckEngine:
                 result.cache_entries = []
                 result.trace = result.meta.pop("obs", None)
                 ordered[index] = result
+                if collected is not None:
+                    collected.append(result)
                 if sink is not None:
                     sink.write_unit(result.name, result.report,
                                     attempts=result.attempts,
@@ -368,7 +457,8 @@ class CheckEngine:
         return [result for result in ordered if result is not None]
 
     def _run_clustered(self, work: List[WorkUnit],
-                       sink: Optional[JsonlResultSink]):
+                       sink: Optional[JsonlResultSink],
+                       collected: Optional[List[UnitResult]] = None):
         """Cluster the whole corpus, solve representatives, propagate.
 
         Units are compiled (and inlined, per the checker config) in the
@@ -459,6 +549,8 @@ class CheckEngine:
                                 attempts=attempts, escalated=escalated,
                                 error=error, meta=dict(unit.meta))
             results.append(result)
+            if collected is not None:
+                collected.append(result)
             if sink is not None:
                 sink.write_unit(result.name, result.report,
                                 attempts=result.attempts,
@@ -486,48 +578,8 @@ class CheckEngine:
 
     def _aggregate(self, results: Sequence[UnitResult],
                    wall_clock: float) -> RunStats:
-        stats = RunStats(workers=max(1, self.config.workers),
-                         wall_clock=wall_clock)
-        for result in results:
-            stats.units += 1
-            if not result.ok:
-                stats.failed_units += 1
-            if result.escalated:
-                stats.escalated_units += 1
-            report = result.report
-            stats.functions += len(report.functions)
-            stats.diagnostics += len(report.bugs)
-            stats.queries += report.queries
-            stats.cache_hits += report.cache_hits
-            stats.timeouts += report.timeouts
-            stats.analysis_time += report.analysis_time
-            stats.contexts += report.contexts
-            stats.sat_calls += report.sat_calls
-            stats.restarts += report.restarts
-            stats.blasted_clauses += report.blasted_clauses
-            stats.solver_time += report.solver_time
-            stats.oracle_sat += report.oracle_sat
-            stats.oracle_unsat += report.oracle_unsat
-            for name, wins in report.backend_wins.items():
-                stats.backend_wins[name] = \
-                    stats.backend_wins.get(name, 0) + wins
-            stats.witnesses_confirmed += report.witnesses_confirmed
-            stats.witnesses_unconfirmed += report.witnesses_unconfirmed
-            stats.witnesses_inconclusive += report.witnesses_inconclusive
-            stats.witness_time += report.witness_time
-            stats.repairs_attempted += report.repairs_attempted
-            stats.repairs_succeeded += report.repairs_succeeded
-            stats.repairs_rejected += report.repairs_rejected
-            stats.repairs_no_template += report.repairs_no_template
-            stats.repair_gate_equivalence_rejects += \
-                report.repair_gate_equivalence_rejects
-            stats.repair_gate_recheck_rejects += \
-                report.repair_gate_recheck_rejects
-            stats.repair_gate_replay_rejects += \
-                report.repair_gate_replay_rejects
-            stats.repair_time += report.repair_time
-        stats.solver_queries = stats.queries - stats.cache_hits
-        return stats
+        return aggregate_results(results, wall_clock,
+                                 workers=self.config.workers)
 
     def _assemble_trace(self, results: Sequence[UnitResult],
                         wall_clock: float):

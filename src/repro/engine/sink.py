@@ -19,6 +19,38 @@ from typing import IO, Dict, List, Optional
 
 from repro.core.report import BugReport, Diagnostic
 
+#: Record fields that measure wall-clock time.  Everything else in a unit
+#: or run record is a deterministic function of the corpus and the checker
+#: configuration; these are the only fields two otherwise identical runs
+#: may disagree on.
+TIMING_FIELDS = frozenset({
+    "analysis_time", "solver_time", "witness_time", "repair_time",
+    "cluster_time", "wall_clock", "elapsed",
+})
+
+
+def verdict_view(record: Dict[str, object]) -> Dict[str, object]:
+    """A record with every timing field zeroed, recursively.
+
+    Two runs over the same corpus under the same configuration — batch vs.
+    served (docs/SERVE.md), sequential vs. parallel, cold vs. warm cache —
+    must produce byte-identical ``verdict_view``-normalized records; the
+    serve benchmark and tests assert exactly that.  Cache-dependent
+    counters (``cache_hits`` and friends) are deliberately *kept*: callers
+    comparing across cache states must account for them explicitly.
+    """
+    def scrub(value):
+        if isinstance(value, dict):
+            return {key: (0 if key in TIMING_FIELDS
+                          and isinstance(child, (int, float))
+                          else scrub(child))
+                    for key, child in value.items()}
+        if isinstance(value, list):
+            return [scrub(child) for child in value]
+        return value
+
+    return scrub(record)
+
 
 def diagnostic_to_dict(diagnostic: Diagnostic) -> Dict[str, object]:
     """Flatten one diagnostic into plain JSON types."""

@@ -236,29 +236,40 @@ class FuzzCampaign:
             trace_metrics = MetricsRegistry()
 
         sink = JsonlResultSink(cfg.out) if cfg.out else None
+        interrupted = False
         try:
-            index = 0
-            while index < cfg.budget:
-                batch_size = min(cfg.batch_size, cfg.budget - index)
-                programs = self._generate_batch(index, batch_size)
-                index += batch_size
-                outcome = engine.check_corpus(self._work_units(programs))
-                stats.engine.merge(outcome.stats)
-                if trace_root is not None and outcome.trace is not None:
-                    from repro.obs.trace import graft, span_payloads, \
-                        span_timings
+            try:
+                index = 0
+                while index < cfg.budget:
+                    batch_size = min(cfg.batch_size, cfg.budget - index)
+                    programs = self._generate_batch(index, batch_size)
+                    index += batch_size
+                    outcome = engine.check_corpus(self._work_units(programs))
+                    stats.engine.merge(outcome.stats)
+                    if trace_root is not None and outcome.trace is not None:
+                        from repro.obs.trace import graft, span_payloads, \
+                            span_timings
 
-                    graft(trace_root, span_payloads(outcome.trace),
-                          span_timings(outcome.trace), offset=trace_offset)
-                    trace_offset += outcome.trace.dur
-                    if outcome.metrics is not None:
-                        trace_metrics.merge(outcome.metrics)
-                for program, unit in zip(programs, outcome.results):
-                    record = self._process_program(program, unit, result)
-                    result.records.append(record)
-                    if sink is not None:
-                        sink.write_record(record)
-                self._reschedule()
+                        graft(trace_root, span_payloads(outcome.trace),
+                              span_timings(outcome.trace), offset=trace_offset)
+                        trace_offset += outcome.trace.dur
+                        if outcome.metrics is not None:
+                            trace_metrics.merge(outcome.metrics)
+                    for program, unit in zip(programs, outcome.results):
+                        record = self._process_program(program, unit, result)
+                        result.records.append(record)
+                        if sink is not None:
+                            sink.write_record(record)
+                    self._reschedule()
+            except KeyboardInterrupt as exc:
+                # Ctrl-C / SIGTERM mid-campaign: fold in whatever the
+                # interrupted batch finished, then fall through so the
+                # partial summary still reaches the stream before exit 130.
+                from repro.engine.engine import EngineInterrupted
+
+                interrupted = True
+                if isinstance(exc, EngineInterrupted):
+                    stats.engine.merge(exc.result.stats)
             summary = {"type": "fuzz-run"}
             summary.update(stats.as_dict())
             import repro
@@ -273,12 +284,16 @@ class FuzzCampaign:
             for knob in ("out", "workers", "trace"):
                 snapshot.pop(knob, None)
             summary["config"] = snapshot
+            if interrupted:
+                summary["interrupted"] = True
             if sink is not None:
                 sink.write_record(summary)
         finally:
             if sink is not None:
                 sink.close()
         stats.wall_clock = time.monotonic() - started
+        if interrupted:
+            raise KeyboardInterrupt("fuzz campaign interrupted")
         if trace_root is not None:
             from repro.obs.chrometrace import write_chrome_trace
 

@@ -1,0 +1,287 @@
+"""Client for the checking daemon: submit jobs, stream results back.
+
+:class:`ServeClient` is the programmatic side of ``python -m repro
+submit``: connect to a running daemon's socket, submit batches of
+translation units as jobs, and consume each job's result records as they
+stream in.  A background reader thread demultiplexes the connection —
+operation replies answer ops in order, ``result`` / ``job-done`` messages
+land in bounded per-job queues — so several jobs can stream concurrently
+over one connection.
+
+Backpressure is end to end: records a caller has not consumed fill the
+job's bounded queue, which stalls the reader thread, which fills the
+kernel socket buffer, which fills the server-side outbox, which makes the
+scheduler stop dispatching that client's units.  Reading slowly is
+therefore all a client has to do to throttle the daemon.
+
+Typical use::
+
+    with ServeClient("repro-serve.sock") as client:
+        job = client.submit([("a.c", SOURCE)], priority=5)
+        for record in job.records():
+            ...                      # engine-schema JSONL records, in order
+
+:func:`check_via_server` wraps the whole round trip for one-shot callers.
+"""
+
+from __future__ import annotations
+
+import queue as queue_module
+import socket
+import threading
+from typing import Dict, Iterable, Iterator, List, Optional, Tuple, Union
+
+from repro.engine.workunit import WorkUnit
+from repro.serve import protocol
+
+
+class ServeError(Exception):
+    """Connection-level or protocol-level client failure."""
+
+
+class SubmitRejected(ServeError):
+    """The daemon refused a submission (quota, queue bound, draining)."""
+
+    def __init__(self, reason: str, detail: str) -> None:
+        super().__init__(f"{reason}: {detail}")
+        self.reason = reason
+        self.detail = detail
+
+
+#: Anything convertible into a submission unit.
+UnitLike = Union[WorkUnit, Tuple[str, str], str]
+
+_DONE = object()
+
+
+def _coerce_units(units: Iterable[UnitLike]) -> List[WorkUnit]:
+    coerced: List[WorkUnit] = []
+    for index, unit in enumerate(units):
+        if isinstance(unit, WorkUnit):
+            coerced.append(unit)
+        elif isinstance(unit, tuple) and len(unit) == 2:
+            coerced.append(WorkUnit(name=unit[0], source=unit[1]))
+        elif isinstance(unit, str):
+            coerced.append(WorkUnit(name=f"unit{index}", source=unit))
+        else:
+            raise TypeError(f"cannot submit a {type(unit).__name__}")
+    return coerced
+
+
+class JobHandle:
+    """One submitted job: its id and the stream of its result records."""
+
+    def __init__(self, client: "ServeClient", job_id: str, units: int,
+                 capacity: int) -> None:
+        self.client = client
+        self.job_id = job_id
+        self.units = units
+        self.status: Optional[str] = None    # "ok" / "cancelled" once done
+        self._queue: "queue_module.Queue" = queue_module.Queue(
+            maxsize=capacity)
+
+    def records(self, timeout: Optional[float] = None,
+                ) -> Iterator[Dict[str, object]]:
+        """Yield this job's records (engine JSONL schema) until it is done.
+
+        The final record of a completed job is its ``run`` summary.  Raises
+        :class:`ServeError` if the connection drops mid-stream or
+        ``timeout`` (per record) elapses.
+        """
+        while True:
+            try:
+                item = self._queue.get(timeout=timeout)
+            except queue_module.Empty:
+                raise ServeError(
+                    f"{self.job_id}: no record within {timeout}s") from None
+            if item is _DONE:
+                return
+            if isinstance(item, ServeError):
+                raise item
+            yield item
+
+    def wait(self, timeout: Optional[float] = None) -> List[Dict[str, object]]:
+        """Consume and return every remaining record of the job."""
+        return list(self.records(timeout=timeout))
+
+    def cancel(self) -> int:
+        """Cancel this job on the server; returns dropped-unit count."""
+        return self.client.cancel(self.job_id)
+
+    # -- reader-side plumbing ---------------------------------------------------
+
+    def _push(self, item: object) -> None:
+        self._queue.put(item)
+
+
+class ServeClient:
+    """A connection to the checking daemon (see module docstring)."""
+
+    def __init__(self, socket_path: str, name: str = "repro-client",
+                 record_capacity: int = 1024,
+                 connect_timeout: float = 10.0) -> None:
+        self.socket_path = socket_path
+        self.name = name
+        self.record_capacity = record_capacity
+        self._sock = socket.socket(socket.AF_UNIX, socket.SOCK_STREAM)
+        self._sock.settimeout(connect_timeout)
+        try:
+            self._sock.connect(socket_path)
+        except OSError as exc:
+            raise ServeError(
+                f"cannot connect to daemon at {socket_path}: {exc}") from None
+        self._sock.settimeout(None)
+        self._line = protocol.LineSocket(self._sock)
+        self._jobs: Dict[str, JobHandle] = {}
+        self._replies: "queue_module.Queue" = queue_module.Queue()
+        self._op_lock = threading.Lock()
+        self._closed = False
+        self._reader = threading.Thread(target=self._read_loop, daemon=True,
+                                        name="serve-client-reader")
+        self._reader.start()
+        self.server_info = self._op({"op": "hello", "client": name,
+                                     "proto": protocol.PROTOCOL_VERSION},
+                                    expect=("welcome",))
+
+    # -- reader -----------------------------------------------------------------
+
+    def _read_loop(self) -> None:
+        while True:
+            message = self._line.receive()
+            if message is None:
+                break
+            kind = message.get("type")
+            if kind == "result":
+                job = self._jobs.get(message.get("job"))
+                if job is not None:
+                    job._push(message.get("record"))
+            elif kind == "job-done":
+                job = self._jobs.pop(message.get("job"), None)
+                if job is not None:
+                    job.status = message.get("status")
+                    job._push(_DONE)
+            elif kind == "draining" and self._closed:
+                continue
+            else:
+                self._replies.put(message)
+        self._closed = True
+        error = ServeError("connection to daemon closed")
+        for job in list(self._jobs.values()):
+            job._push(error)
+        self._jobs.clear()
+        self._replies.put({"type": "error", "reason": "disconnected",
+                           "detail": "connection to daemon closed"})
+
+    def _op(self, message: Dict[str, object],
+            expect: Tuple[str, ...], timeout: float = 60.0,
+            ) -> Dict[str, object]:
+        """Send one operation and return its (in-order) reply."""
+        with self._op_lock:
+            if self._closed:
+                raise ServeError("client is closed")
+            try:
+                self._line.send(message)
+            except OSError as exc:
+                raise ServeError(f"send failed: {exc}") from None
+            try:
+                reply = self._replies.get(timeout=timeout)
+            except queue_module.Empty:
+                raise ServeError(
+                    f"no reply to {message.get('op')!r} within {timeout}s",
+                    ) from None
+        kind = reply.get("type")
+        if kind in expect:
+            return reply
+        if kind == "rejected":
+            raise SubmitRejected(str(reply.get("reason")),
+                                 str(reply.get("detail")))
+        raise ServeError(f"unexpected reply {reply!r} to "
+                         f"{message.get('op')!r}")
+
+    # -- operations --------------------------------------------------------------
+
+    def submit(self, units: Iterable[UnitLike], priority: int = 0,
+               checker: Optional[Dict[str, object]] = None) -> JobHandle:
+        """Submit one job; returns its handle once the daemon accepts it.
+
+        Raises :class:`SubmitRejected` when the daemon refuses (per-client
+        quota, global queue bound, or draining).  ``checker`` carries
+        whitelisted per-job overrides (:data:`protocol.CHECKER_OVERRIDES`).
+        """
+        work = _coerce_units(units)
+        message = protocol.submit_message(work, priority=priority,
+                                          checker=checker)
+        with self._op_lock:
+            if self._closed:
+                raise ServeError("client is closed")
+            try:
+                self._line.send(message)
+                reply = self._replies.get(timeout=60.0)
+            except (OSError, queue_module.Empty) as exc:
+                raise ServeError(f"submit failed: {exc}") from None
+            kind = reply.get("type")
+            if kind == "accepted":
+                handle = JobHandle(self, str(reply["job"]),
+                                   units=int(reply.get("units", len(work))),
+                                   capacity=self.record_capacity)
+                # Registered under the lock so no result can race the handle.
+                self._jobs[handle.job_id] = handle
+                return handle
+        if kind == "rejected":
+            raise SubmitRejected(str(reply.get("reason")),
+                                 str(reply.get("detail")))
+        raise ServeError(f"unexpected reply {reply!r} to submit")
+
+    def check(self, units: Iterable[UnitLike], priority: int = 0,
+              checker: Optional[Dict[str, object]] = None,
+              timeout: Optional[float] = 300.0) -> List[Dict[str, object]]:
+        """Submit and wait: returns the job's full record list."""
+        return self.submit(units, priority=priority,
+                           checker=checker).wait(timeout=timeout)
+
+    def cancel(self, job_id: str) -> int:
+        reply = self._op({"op": "cancel", "job": job_id},
+                         expect=("cancel-ok", "error"))
+        if reply.get("type") == "error":
+            raise ServeError(str(reply.get("detail")))
+        return int(reply.get("dropped", 0))
+
+    def status(self) -> Dict[str, object]:
+        """The daemon's live status (queue depth, workers, metrics)."""
+        return self._op({"op": "status"}, expect=("status",))
+
+    def ping(self) -> bool:
+        return self._op({"op": "ping"}, expect=("pong",)).get("type") == "pong"
+
+    def drain(self) -> None:
+        """Ask the daemon to drain and shut down gracefully."""
+        self._op({"op": "drain"}, expect=("draining",))
+
+    # -- lifecycle ---------------------------------------------------------------
+
+    def close(self) -> None:
+        if not self._closed:
+            self._closed = True
+            self._line.close()
+
+    def __enter__(self) -> "ServeClient":
+        return self
+
+    def __exit__(self, *_exc) -> None:
+        self.close()
+
+
+def check_via_server(socket_path: str, units: Iterable[UnitLike],
+                     priority: int = 0,
+                     checker: Optional[Dict[str, object]] = None,
+                     name: str = "repro-client",
+                     timeout: Optional[float] = 300.0,
+                     ) -> List[Dict[str, object]]:
+    """One-shot convenience: connect, submit, stream, disconnect."""
+    with ServeClient(socket_path, name=name) as client:
+        return client.check(units, priority=priority, checker=checker,
+                            timeout=timeout)
+
+
+__all__ = ["JobHandle", "ServeClient", "ServeError", "SubmitRejected",
+           "check_via_server"]

@@ -1,0 +1,329 @@
+"""Warm worker pool: resident checker processes that outlive jobs.
+
+A cold ``python -m repro check`` pays interpreter boot, module imports,
+corpus loading, and an empty solver-query cache on every invocation.  The
+daemon amortizes all of that: each :class:`WarmWorkerPool` worker is a
+long-lived process that imports the pipeline once, keeps its
+:class:`~repro.engine.cache.SolverQueryCache` (and with it every blast memo
+the cache fronts) resident across jobs, and accepts work units one at a
+time over its own task queue.  A unit structurally identical to anything
+any previous job checked answers straight from the warm cache — no
+bit-blasting, no CDCL.
+
+Robustness contract (exercised by ``tests/test_serve.py``):
+
+* **Worker death is survivable.**  Each worker announces tasks as it starts
+  them, so the parent always knows what a worker was holding.  When a
+  worker dies mid-unit, its in-flight and queued tasks are resubmitted to
+  surviving workers (up to ``max_retries`` per task, then reported failed),
+  a replacement worker is spawned seeded from the authoritative cache, and
+  the run completes with deterministic records for every surviving unit —
+  no hang, no lost task, no duplicate result (first completion wins).
+* **Graceful shutdown.**  ``close(drain=True)`` lets every queued task
+  finish, collects the final cache entries, then stops workers via
+  sentinels; ``close(drain=False)`` terminates immediately.
+
+The pool is transport-agnostic: the daemon drives it, but tests drive it
+directly.  Task identifiers are caller-chosen opaque strings.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+import queue as queue_module
+import time
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Tuple
+
+from repro.core.checker import CheckerConfig
+from repro.core.report import BugReport
+from repro.engine.cache import SolverQueryCache
+from repro.engine.workunit import UnitResult, WorkUnit, check_work_unit
+
+#: Environment flag gating test-only fault injection (see ``_worker_main``).
+TEST_HOOKS_ENV = "REPRO_SERVE_TEST_HOOKS"
+
+#: Unit meta key that, with :data:`TEST_HOOKS_ENV` set, makes the worker
+#: process die mid-unit — the worker-death regression tests' crash lever.
+CRASH_META_KEY = "__serve_crash__"
+
+
+def _worker_main(worker_id: int, task_queue, result_queue,
+                 checker: CheckerConfig, cache_seed: Optional[List[dict]],
+                 cache_capacity: int, escalation: Tuple[float, ...]) -> None:
+    """Body of one warm worker process.
+
+    The cache constructed here is the worker's warm state: it persists
+    across every task the worker ever runs.  Discovered entries are drained
+    into each result so the parent can absorb them into the authoritative
+    cache (and seed future replacement workers from it).
+    """
+    cache = SolverQueryCache(capacity=cache_capacity)
+    if cache_seed:
+        cache.seed(cache_seed)
+    while True:
+        task = task_queue.get()
+        if task is None:
+            result_queue.put(("bye", worker_id, None, None))
+            return
+        task_id, unit, config = task
+        result_queue.put(("start", worker_id, task_id, None))
+        if unit.meta.get(CRASH_META_KEY) and os.environ.get(TEST_HOOKS_ENV):
+            os._exit(42)                  # simulated mid-unit worker death
+        try:
+            result = check_work_unit(unit, config or checker, cache=cache,
+                                     escalation_factors=escalation,
+                                     drain_cache=True)
+        except BaseException as exc:      # a bad unit must not kill the worker
+            result = UnitResult(name=unit.name,
+                                report=BugReport(module=unit.name),
+                                error=f"{type(exc).__name__}: {exc}",
+                                meta=dict(unit.meta))
+        result_queue.put(("done", worker_id, task_id, result))
+
+
+@dataclass
+class _Task:
+    task_id: str
+    unit: WorkUnit
+    config: Optional[CheckerConfig]
+    worker_id: int = -1
+    started: bool = False
+    retries: int = 0
+
+
+@dataclass
+class PoolEvent:
+    """One observable pool outcome, returned by :meth:`WarmWorkerPool.collect`.
+
+    ``kind`` is ``"done"`` (``result`` set), ``"failed"`` (``error`` set:
+    the task exhausted its retries on dying workers), or ``"retried"``
+    (informational: the task was resubmitted after a worker death).
+    """
+
+    kind: str
+    task_id: str
+    result: Optional[UnitResult] = None
+    error: str = ""
+    worker_id: int = -1
+    cache_entries: List[dict] = field(default_factory=list)
+
+
+class WarmWorkerPool:
+    """A fixed-size pool of warm checker processes with death recovery."""
+
+    def __init__(self, workers: int, checker: Optional[CheckerConfig] = None,
+                 cache: Optional[SolverQueryCache] = None,
+                 cache_capacity: int = 100_000,
+                 escalation_factors: Tuple[float, ...] = (4.0, 16.0),
+                 start_method: Optional[str] = None,
+                 max_retries: int = 1) -> None:
+        if workers <= 0:
+            raise ValueError("a warm pool needs at least one worker")
+        if start_method is None:
+            start_method = "fork" \
+                if "fork" in multiprocessing.get_all_start_methods() else "spawn"
+        self.workers = workers
+        self.checker = checker if checker is not None else CheckerConfig()
+        self.cache = cache
+        self.cache_capacity = cache_capacity
+        self.escalation_factors = tuple(escalation_factors)
+        self.max_retries = max_retries
+        self.deaths = 0                       # workers lost over the lifetime
+        self._context = multiprocessing.get_context(start_method)
+        self._result_queue = self._context.Queue()
+        self._processes: Dict[int, multiprocessing.process.BaseProcess] = {}
+        self._task_queues: Dict[int, object] = {}
+        self._assigned: Dict[int, List[str]] = {}
+        self._tasks: Dict[str, _Task] = {}
+        self._completed: set = set()
+        self._next_worker_id = 0
+        self._closed = False
+        for _ in range(workers):
+            self._spawn_worker()
+
+    # -- lifecycle ---------------------------------------------------------------
+
+    def _spawn_worker(self) -> int:
+        worker_id = self._next_worker_id
+        self._next_worker_id += 1
+        task_queue = self._context.Queue()
+        seed = self.cache.snapshot() if self.cache is not None else None
+        process = self._context.Process(
+            target=_worker_main,
+            args=(worker_id, task_queue, self._result_queue, self.checker,
+                  seed, self.cache_capacity, self.escalation_factors),
+            daemon=True)
+        process.start()
+        self._processes[worker_id] = process
+        self._task_queues[worker_id] = task_queue
+        self._assigned[worker_id] = []
+        return worker_id
+
+    @property
+    def worker_pids(self) -> List[int]:
+        return [process.pid for process in self._processes.values()
+                if process.pid is not None]
+
+    @property
+    def outstanding(self) -> int:
+        """Tasks submitted and not yet resolved (done or failed)."""
+        return len(self._tasks)
+
+    def has_capacity(self, slack: int = 1) -> bool:
+        """True while dispatching more work keeps every worker busy without
+        queueing more than ``slack`` extra tasks per worker."""
+        return self.outstanding < self.workers * (1 + slack)
+
+    # -- submission --------------------------------------------------------------
+
+    def submit(self, task_id: str, unit: WorkUnit,
+               config: Optional[CheckerConfig] = None) -> None:
+        """Queue one unit on the least-loaded worker."""
+        if self._closed:
+            raise RuntimeError("pool is closed")
+        if task_id in self._tasks or task_id in self._completed:
+            raise ValueError(f"duplicate task id {task_id!r}")
+        task = _Task(task_id=task_id, unit=unit, config=config)
+        self._tasks[task_id] = task
+        self._dispatch(task)
+
+    def _dispatch(self, task: _Task) -> None:
+        worker_id = min(self._assigned,
+                        key=lambda wid: (len(self._assigned[wid]), wid))
+        task.worker_id = worker_id
+        task.started = False
+        self._assigned[worker_id].append(task.task_id)
+        self._task_queues[worker_id].put((task.task_id, task.unit, task.config))
+
+    # -- collection --------------------------------------------------------------
+
+    def collect(self, timeout: float = 0.1) -> List[PoolEvent]:
+        """Drain finished work and recover from worker deaths.
+
+        Blocks up to ``timeout`` seconds for the first message, then drains
+        whatever else is immediately available.  Always checks worker
+        liveness, so a death with no message traffic is still detected on
+        the next call.
+        """
+        if self._closed:
+            return []
+        events: List[PoolEvent] = []
+        deadline = time.monotonic() + timeout
+        first = True
+        while True:
+            remaining = deadline - time.monotonic()
+            if not first and remaining <= 0:
+                break
+            try:
+                message = self._result_queue.get(
+                    timeout=max(0.0, remaining) if first else 0.0)
+            except queue_module.Empty:
+                break
+            first = False
+            events.extend(self._handle_message(message))
+        events.extend(self._reap_dead_workers())
+        return events
+
+    def _handle_message(self, message) -> List[PoolEvent]:
+        kind, worker_id, task_id, payload = message
+        if kind == "start":
+            task = self._tasks.get(task_id)
+            if task is not None and task.worker_id == worker_id:
+                task.started = True
+            return []
+        if kind == "bye":
+            return []
+        # kind == "done"
+        task = self._tasks.pop(task_id, None)
+        if task is None:                      # duplicate after a retry raced
+            return []
+        self._completed.add(task_id)
+        if task_id in self._assigned.get(task.worker_id, []):
+            self._assigned[task.worker_id].remove(task_id)
+        result: UnitResult = payload
+        entries = result.cache_entries
+        result.cache_entries = []
+        if self.cache is not None and entries:
+            self.cache.absorb(entries)
+        return [PoolEvent(kind="done", task_id=task_id, result=result,
+                          worker_id=worker_id, cache_entries=entries)]
+
+    def _reap_dead_workers(self) -> List[PoolEvent]:
+        events: List[PoolEvent] = []
+        for worker_id, process in list(self._processes.items()):
+            if process.is_alive():
+                continue
+            self.deaths += 1
+            orphaned = [self._tasks[tid] for tid in self._assigned[worker_id]
+                        if tid in self._tasks]
+            del self._processes[worker_id]
+            del self._task_queues[worker_id]
+            del self._assigned[worker_id]
+            if not self._closed:
+                self._spawn_worker()          # keep the pool at full strength
+            for task in orphaned:
+                if task.retries >= self.max_retries:
+                    del self._tasks[task.task_id]
+                    self._completed.add(task.task_id)
+                    events.append(PoolEvent(
+                        kind="failed", task_id=task.task_id,
+                        error=f"worker {worker_id} died "
+                              f"({task.retries} retries exhausted)",
+                        worker_id=worker_id))
+                    continue
+                task.retries += 1
+                # A crash-looping unit must not kill its replacement too.
+                if task.unit.meta.get(CRASH_META_KEY):
+                    task.unit.meta = {k: v for k, v in task.unit.meta.items()
+                                      if k != CRASH_META_KEY}
+                self._dispatch(task)
+                events.append(PoolEvent(kind="retried", task_id=task.task_id,
+                                        worker_id=worker_id))
+        return events
+
+    def drain(self, on_event: Optional[Callable[[PoolEvent], None]] = None,
+              timeout: float = 60.0) -> List[PoolEvent]:
+        """Collect until no task is outstanding (or ``timeout`` elapses)."""
+        collected: List[PoolEvent] = []
+        deadline = time.monotonic() + timeout
+        while self._tasks and time.monotonic() < deadline:
+            for event in self.collect(timeout=0.1):
+                collected.append(event)
+                if on_event is not None:
+                    on_event(event)
+        return collected
+
+    def close(self, drain: bool = True, timeout: float = 30.0) -> None:
+        """Stop every worker; with ``drain``, let queued tasks finish first."""
+        if self._closed:
+            return
+        if drain:
+            self.drain(timeout=timeout)
+        self._closed = True
+        for worker_id, task_queue in self._task_queues.items():
+            try:
+                task_queue.put(None)
+            except (ValueError, OSError):
+                pass
+        deadline = time.monotonic() + timeout
+        for process in list(self._processes.values()):
+            process.join(timeout=max(0.1, deadline - time.monotonic()))
+            if process.is_alive():
+                process.terminate()
+                process.join(timeout=1.0)
+        self._processes.clear()
+        self._task_queues.clear()
+        self._assigned.clear()
+        self._result_queue.close()
+        self._result_queue.join_thread()
+
+    def __enter__(self) -> "WarmWorkerPool":
+        return self
+
+    def __exit__(self, *_exc) -> None:
+        self.close(drain=False)
+
+
+__all__ = ["CRASH_META_KEY", "PoolEvent", "TEST_HOOKS_ENV", "WarmWorkerPool"]

@@ -1,0 +1,224 @@
+"""Deterministic job scheduling for the checking daemon.
+
+The scheduler owns every accepted job and answers one question: *which unit
+runs next?*  The answer is a pure function of scheduler state — no clocks,
+no randomness — so a given sequence of submissions and completions always
+dispatches in the same order:
+
+* jobs are ordered by **priority** (higher first), ties broken by
+  **submission sequence** (earlier first);
+* within a job, units dispatch in **submission order**;
+* a job whose client cannot absorb more output (its outbox is at the
+  high-water mark) is skipped until the client drains — scheduling is where
+  backpressure lands, so one slow consumer never wedges the worker pool.
+
+Admission control lives here too: a bounded global queue
+(``max_queued_units``) and a per-client quota of outstanding units.  Both
+reject at submission time with a typed reason the server relays to the
+client (``queue-full`` / ``quota``), never by silently dropping work.
+
+Completed results are buffered per job and released in unit-submission
+order, which is what makes a served job's record stream byte-comparable
+with a sequential batch run over the same corpus.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Tuple
+
+from repro.core.checker import CheckerConfig
+from repro.engine.workunit import UnitResult, WorkUnit
+
+
+class AdmissionError(Exception):
+    """A submission the scheduler refused; ``reason`` crosses the wire."""
+
+    def __init__(self, reason: str, detail: str) -> None:
+        super().__init__(detail)
+        self.reason = reason
+        self.detail = detail
+
+
+@dataclass
+class Job:
+    """One accepted submission: a batch of units checked under one config."""
+
+    job_id: str
+    client_id: str
+    priority: int
+    seq: int                              # global submission sequence number
+    units: List[WorkUnit]
+    checker: CheckerConfig
+    next_dispatch: int = 0                # index of the next unit to dispatch
+    next_emit: int = 0                    # index of the next result to emit
+    in_flight: int = 0
+    cancelled: bool = False
+    #: Completed results awaiting in-order emission, keyed by unit index.
+    pending_results: Dict[int, UnitResult] = field(default_factory=dict)
+    #: Unit indices whose results were dropped by cancellation.
+    dropped: int = 0
+    started_monotonic: float = 0.0
+
+    @property
+    def total_units(self) -> int:
+        return len(self.units)
+
+    @property
+    def dispatched(self) -> int:
+        return self.next_dispatch
+
+    @property
+    def pending_units(self) -> int:
+        """Units accepted but not yet dispatched (0 once cancelled)."""
+        return 0 if self.cancelled else self.total_units - self.next_dispatch
+
+    @property
+    def finished(self) -> bool:
+        """Every unit is accounted for: emitted, dropped, or cancelled."""
+        if self.cancelled:
+            return self.in_flight == 0
+        return self.next_emit >= self.total_units
+
+    @property
+    def outstanding(self) -> int:
+        """Units still owed to the client (for quota accounting)."""
+        if self.cancelled:
+            return self.in_flight
+        return self.total_units - self.next_emit
+
+
+class JobScheduler:
+    """Deterministic priority scheduler with quotas and bounded queues."""
+
+    def __init__(self, max_queued_units: int = 4096,
+                 client_quota: int = 1024) -> None:
+        if max_queued_units <= 0:
+            raise ValueError("max_queued_units must be positive")
+        if client_quota <= 0:
+            raise ValueError("client_quota must be positive")
+        self.max_queued_units = max_queued_units
+        self.client_quota = client_quota
+        self.jobs: Dict[str, Job] = {}
+        self._seq = 0
+        self._job_counter = 0
+
+    # -- admission ---------------------------------------------------------------
+
+    def submit(self, client_id: str, units: List[WorkUnit],
+               checker: CheckerConfig, priority: int = 0) -> Job:
+        """Admit a batch of units as one job, or raise :class:`AdmissionError`."""
+        if not units:
+            raise AdmissionError("empty", "a job needs at least one unit")
+        queued = self.queue_depth()
+        if queued + len(units) > self.max_queued_units:
+            raise AdmissionError(
+                "queue-full",
+                f"{len(units)} units over the global queue bound "
+                f"({queued} queued, limit {self.max_queued_units})")
+        outstanding = self.client_outstanding(client_id)
+        if outstanding + len(units) > self.client_quota:
+            raise AdmissionError(
+                "quota",
+                f"client {client_id!r} would hold {outstanding + len(units)} "
+                f"outstanding units (quota {self.client_quota})")
+        self._job_counter += 1
+        self._seq += 1
+        job = Job(job_id=f"job-{self._job_counter}", client_id=client_id,
+                  priority=priority, seq=self._seq, units=list(units),
+                  checker=checker)
+        self.jobs[job.job_id] = job
+        return job
+
+    # -- dispatch ----------------------------------------------------------------
+
+    def next_unit(self, client_ready: Callable[[str], bool],
+                  ) -> Optional[Tuple[Job, int, WorkUnit]]:
+        """The next (job, unit index, unit) to dispatch, or None.
+
+        ``client_ready`` gates on per-client backpressure: jobs whose client
+        cannot absorb more output are skipped this round, deterministically.
+        """
+        candidates = [job for job in self.jobs.values()
+                      if job.pending_units > 0 and client_ready(job.client_id)]
+        if not candidates:
+            return None
+        job = min(candidates, key=lambda j: (-j.priority, j.seq))
+        index = job.next_dispatch
+        job.next_dispatch += 1
+        job.in_flight += 1
+        return job, index, job.units[index]
+
+    # -- completion --------------------------------------------------------------
+
+    def complete(self, job_id: str, index: int, result: UnitResult,
+                 ) -> List[Tuple[int, UnitResult]]:
+        """Record one finished unit; return results now emittable in order.
+
+        Results of cancelled jobs are swallowed (counted as dropped) — the
+        caller must not stream them.
+        """
+        job = self.jobs.get(job_id)
+        if job is None:
+            return []
+        job.in_flight = max(0, job.in_flight - 1)
+        if job.cancelled:
+            job.dropped += 1
+            return []
+        job.pending_results[index] = result
+        ready: List[Tuple[int, UnitResult]] = []
+        while job.next_emit in job.pending_results:
+            ready.append((job.next_emit,
+                          job.pending_results.pop(job.next_emit)))
+            job.next_emit += 1
+        return ready
+
+    def cancel(self, job_id: str) -> Optional[int]:
+        """Cancel a job; returns how many undispatched units were dropped."""
+        job = self.jobs.get(job_id)
+        if job is None or job.cancelled:
+            return None
+        dropped = job.total_units - job.next_dispatch
+        job.cancelled = True
+        job.dropped += dropped + len(job.pending_results)
+        job.pending_results.clear()
+        return dropped
+
+    def finish(self, job_id: str) -> Optional[Job]:
+        """Retire a finished job from the table (returns it, or None)."""
+        job = self.jobs.get(job_id)
+        if job is not None and job.finished:
+            return self.jobs.pop(job_id)
+        return None
+
+    def cancel_client(self, client_id: str) -> List[str]:
+        """Cancel every live job of a departing client; returns their ids."""
+        cancelled = []
+        for job in self.jobs.values():
+            if job.client_id == client_id and not job.cancelled:
+                self.cancel(job.job_id)
+                cancelled.append(job.job_id)
+        return cancelled
+
+    # -- accounting --------------------------------------------------------------
+
+    def queue_depth(self) -> int:
+        """Units admitted but not yet dispatched, across all jobs."""
+        return sum(job.pending_units for job in self.jobs.values())
+
+    def in_flight(self) -> int:
+        return sum(job.in_flight for job in self.jobs.values())
+
+    def client_outstanding(self, client_id: str) -> int:
+        return sum(job.outstanding for job in self.jobs.values()
+                   if job.client_id == client_id)
+
+    def active_jobs(self) -> int:
+        return len(self.jobs)
+
+    def idle(self) -> bool:
+        """No queued units, nothing in flight, no unemitted results."""
+        return not self.jobs
+
+
+__all__ = ["AdmissionError", "Job", "JobScheduler"]

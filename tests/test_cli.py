@@ -298,6 +298,120 @@ def test_cluster_trace_writes_loadable_chrome_trace(tmp_path, capsys):
                for event in document["traceEvents"])
 
 
+# ---------------------------------------------------------------------------
+# The check alias, --stdin, and interrupt handling (exit 130)
+# ---------------------------------------------------------------------------
+
+
+def test_check_alias_matches_default_mode(tmp_path, capsys):
+    from repro.engine.sink import verdict_view
+
+    path = write(tmp_path, "unstable.c", UNSTABLE)
+    direct = main([path, "--json"])
+    direct_out = capsys.readouterr().out
+    aliased = main(["check", path, "--json"])
+    aliased_out = capsys.readouterr().out
+    assert direct == aliased == 1
+    # Identical up to wall-clock timing fields.
+    assert verdict_view(json.loads(direct_out)) == \
+        verdict_view(json.loads(aliased_out))
+
+
+def test_check_stdin_flag(capsys, monkeypatch):
+    import io
+
+    monkeypatch.setattr("sys.stdin", io.StringIO(UNSTABLE))
+    code = main(["check", "--stdin", "--json"])
+    record = json.loads(capsys.readouterr().out)
+    assert code == 1
+    assert record["unit"] == "<stdin>"
+
+
+def test_no_source_and_no_stdin_exits_2(capsys):
+    assert main(["check"]) == 2
+    assert "--stdin" in capsys.readouterr().err
+
+
+def test_cluster_interrupt_flushes_partial_stream_and_exits_130(
+        tmp_path, capsys, monkeypatch):
+    import repro.engine.engine as engine_module
+
+    out = tmp_path / "partial.jsonl"
+    real_check = engine_module.check_work_unit
+    calls = {"count": 0}
+
+    def interrupting(unit, config, **kwargs):
+        calls["count"] += 1
+        if calls["count"] == 3:               # Ctrl-C lands mid-corpus
+            raise KeyboardInterrupt
+        return real_check(unit, config, **kwargs)
+
+    monkeypatch.setattr(engine_module, "check_work_unit", interrupting)
+    code = main(["cluster", "--synthetic", "6", "--no-cluster",
+                 "--out", str(out)])
+    captured = capsys.readouterr()
+    assert code == 130
+    assert "interrupted" in captured.err
+    records = [json.loads(line) for line in out.read_text().splitlines()]
+    # Finished units reached the stream; the summary is marked interrupted.
+    assert [r["type"] for r in records[:-1]] == ["unit"] * (len(records) - 1)
+    assert records[-1]["type"] == "run"
+    assert records[-1]["interrupted"] is True
+    assert records[-1]["units"] == len(records) - 1 == 2
+
+
+def test_fuzz_interrupt_flushes_partial_summary_and_exits_130(
+        tmp_path, capsys, monkeypatch):
+    from repro.engine.engine import CheckEngine
+
+    out = tmp_path / "partial-fuzz.jsonl"
+
+    def interrupting(self, corpus):
+        raise KeyboardInterrupt
+
+    monkeypatch.setattr(CheckEngine, "check_corpus", interrupting)
+    code = main(["fuzz", "--budget", "2", "--seed", "11",
+                 "--out", str(out)])
+    captured = capsys.readouterr()
+    assert code == 130
+    assert "interrupted" in captured.err
+    records = [json.loads(line) for line in out.read_text().splitlines()]
+    assert records[-1]["type"] == "fuzz-run"
+    assert records[-1]["interrupted"] is True
+
+
+def test_sigterm_interrupts_like_ctrl_c(tmp_path):
+    """SIGTERM mid-run behaves exactly like Ctrl-C: partial JSONL flushed,
+    summary marked interrupted, exit 130."""
+    import os
+    import signal
+    import subprocess
+    import sys
+    import time
+
+    import repro
+
+    out = tmp_path / "sigterm.jsonl"
+    env = dict(os.environ)
+    env["PYTHONPATH"] = os.path.dirname(os.path.dirname(repro.__file__))
+    process = subprocess.Popen(
+        [sys.executable, "-m", "repro", "cluster", "--synthetic", "80",
+         "--no-cluster", "--out", str(out)],
+        stdout=subprocess.DEVNULL, stderr=subprocess.PIPE, text=True, env=env)
+    deadline = time.monotonic() + 120
+    while time.monotonic() < deadline:        # wait for real progress
+        if out.exists() and len(out.read_text().splitlines()) >= 2:
+            break
+        time.sleep(0.05)
+    process.send_signal(signal.SIGTERM)
+    assert process.wait(timeout=60) == 130
+    assert "interrupted" in process.stderr.read()
+    records = [json.loads(line) for line in out.read_text().splitlines()]
+    assert records[-1]["type"] == "run"
+    assert records[-1]["interrupted"] is True
+    assert 0 < records[-1]["units"] < 80
+
+
 def test_run_summary_records_carry_version_and_config(tmp_path, capsys):
     from repro import __version__
     from repro.engine.engine import CheckEngine, EngineConfig

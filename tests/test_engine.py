@@ -8,6 +8,7 @@ result sink, and the CheckerConfig.describe() helper.
 """
 
 import json
+import os
 
 import pytest
 
@@ -220,6 +221,68 @@ def test_cache_load_tolerates_torn_lines(tmp_path):
     cache = SolverQueryCache(path=str(path))
     assert len(cache) == 1
     assert cache.lookup("k") == VERDICT_UNSAT
+
+
+def test_cache_flush_merges_other_writers_entries(tmp_path):
+    # Two caches sharing one path: flushing must merge, never clobber.
+    path = str(tmp_path / "cache.jsonl")
+    first = SolverQueryCache(path=path)
+    second = SolverQueryCache(path=path)
+    first.store("ka", VERDICT_UNSAT)
+    second.store("kb", VERDICT_SAT)
+    assert first.flush() == 1
+    assert second.flush() == 1                  # does not lose "ka"
+    reloaded = SolverQueryCache(path=path)
+    assert len(reloaded) == 2
+    assert reloaded.lookup("ka") == VERDICT_UNSAT
+    assert reloaded.lookup("kb") == VERDICT_SAT
+
+
+def test_cache_flush_never_downgrades_on_disk(tmp_path):
+    path = str(tmp_path / "cache.jsonl")
+    first = SolverQueryCache(path=path)
+    first.store("k", VERDICT_UNSAT, timeout=5.0)
+    assert first.flush() == 1
+    late = SolverQueryCache()
+    late.store("k", VERDICT_UNKNOWN, timeout=60.0)
+    assert late.flush(path) == 0                # unknown never wins on disk
+    assert SolverQueryCache(path=path).lookup("k") == VERDICT_UNSAT
+
+
+def test_cache_flush_is_safe_under_concurrent_processes(tmp_path):
+    """The satellite regression: several processes repeatedly flushing one
+    cache file must lose no entries and never leave a torn file (advisory
+    lock + atomic temp-file rename)."""
+    import subprocess
+    import sys
+    import textwrap
+
+    import repro
+
+    path = str(tmp_path / "shared-cache.jsonl")
+    writers, rounds, per_round = 4, 5, 10
+    script = textwrap.dedent("""
+        import sys
+        from repro.engine.cache import SolverQueryCache
+
+        path, writer = sys.argv[1], int(sys.argv[2])
+        for round_index in range(int(sys.argv[3])):
+            cache = SolverQueryCache(path=path)
+            for i in range(int(sys.argv[4])):
+                cache.store(f"w{writer}-r{round_index}-{i}", "unsat")
+            cache.flush()
+    """)
+    env = dict(os.environ)
+    env["PYTHONPATH"] = os.path.dirname(os.path.dirname(repro.__file__))
+    processes = [subprocess.Popen(
+        [sys.executable, "-c", script, path, str(writer), str(rounds),
+         str(per_round)], env=env) for writer in range(writers)]
+    for process in processes:
+        assert process.wait(timeout=120) == 0
+    lines = [json.loads(line)
+             for line in open(path, encoding="utf-8")]  # every line parses
+    keys = [line["key"] for line in lines]
+    assert len(keys) == len(set(keys)) == writers * rounds * per_round
 
 
 # -- checker integration --------------------------------------------------------------
