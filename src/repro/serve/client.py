@@ -160,6 +160,18 @@ class ServeClient:
                 if job is not None:
                     job.status = message.get("status")
                     job._push(_DONE)
+            elif kind == "accepted":
+                # Register the handle HERE, on the reader thread, before the
+                # next message is read: a warm-cache "result" or "job-done"
+                # can follow "accepted" on the wire immediately, long before
+                # the submitting thread dequeues the reply.  ``_jobs`` is
+                # thereafter touched only by this thread.
+                handle = JobHandle(self, str(message.get("job")),
+                                   units=int(message.get("units", 0)),
+                                   capacity=self.record_capacity)
+                self._jobs[handle.job_id] = handle
+                message["_handle"] = handle
+                self._replies.put(message)
             elif kind == "draining" and self._closed:
                 continue
             else:
@@ -221,12 +233,10 @@ class ServeClient:
                 raise ServeError(f"submit failed: {exc}") from None
             kind = reply.get("type")
             if kind == "accepted":
-                handle = JobHandle(self, str(reply["job"]),
-                                   units=int(reply.get("units", len(work))),
-                                   capacity=self.record_capacity)
-                # Registered under the lock so no result can race the handle.
-                self._jobs[handle.job_id] = handle
-                return handle
+                # The reader thread built and registered the handle before
+                # processing any of the job's stream messages (see
+                # _read_loop); no record can race the registration.
+                return reply["_handle"]
         if kind == "rejected":
             raise SubmitRejected(str(reply.get("reason")),
                                  str(reply.get("detail")))

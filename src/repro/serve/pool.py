@@ -33,8 +33,9 @@ import multiprocessing
 import os
 import queue as queue_module
 import time
+from collections import deque
 from dataclasses import dataclass, field
-from typing import Callable, Dict, List, Optional, Tuple
+from typing import Callable, Deque, Dict, List, Optional, Tuple
 
 from repro.core.checker import CheckerConfig
 from repro.core.report import BugReport
@@ -118,7 +119,8 @@ class WarmWorkerPool:
                  cache_capacity: int = 100_000,
                  escalation_factors: Tuple[float, ...] = (4.0, 16.0),
                  start_method: Optional[str] = None,
-                 max_retries: int = 1) -> None:
+                 max_retries: int = 1,
+                 completed_history: int = 4096) -> None:
         if workers <= 0:
             raise ValueError("a warm pool needs at least one worker")
         if start_method is None:
@@ -137,7 +139,12 @@ class WarmWorkerPool:
         self._task_queues: Dict[int, object] = {}
         self._assigned: Dict[int, List[str]] = {}
         self._tasks: Dict[str, _Task] = {}
+        # Recently completed task ids, for duplicate-submit detection.  A
+        # bounded ring, not a full history: the daemon processes millions of
+        # units over its lifetime and an ever-growing set would be a leak.
         self._completed: set = set()
+        self._completed_order: Deque[str] = deque()
+        self._completed_history = max(1, completed_history)
         self._next_worker_id = 0
         self._closed = False
         for _ in range(workers):
@@ -189,6 +196,14 @@ class WarmWorkerPool:
         self._tasks[task_id] = task
         self._dispatch(task)
 
+    def _mark_completed(self, task_id: str) -> None:
+        if task_id in self._completed:
+            return
+        self._completed.add(task_id)
+        self._completed_order.append(task_id)
+        while len(self._completed_order) > self._completed_history:
+            self._completed.discard(self._completed_order.popleft())
+
     def _dispatch(self, task: _Task) -> None:
         worker_id = min(self._assigned,
                         key=lambda wid: (len(self._assigned[wid]), wid))
@@ -239,7 +254,7 @@ class WarmWorkerPool:
         task = self._tasks.pop(task_id, None)
         if task is None:                      # duplicate after a retry raced
             return []
-        self._completed.add(task_id)
+        self._mark_completed(task_id)
         if task_id in self._assigned.get(task.worker_id, []):
             self._assigned[task.worker_id].remove(task_id)
         result: UnitResult = payload
@@ -266,7 +281,7 @@ class WarmWorkerPool:
             for task in orphaned:
                 if task.retries >= self.max_retries:
                     del self._tasks[task.task_id]
-                    self._completed.add(task.task_id)
+                    self._mark_completed(task.task_id)
                     events.append(PoolEvent(
                         kind="failed", task_id=task.task_id,
                         error=f"worker {worker_id} died "

@@ -52,6 +52,11 @@ from repro.engine.workunit import WorkUnit
 #: Protocol revision; bumped on incompatible message changes.
 PROTOCOL_VERSION = 1
 
+#: Hard bound on one framed line.  Generous — a submit message carries a
+#: whole batch of sources — but finite, so a peer cannot exhaust server
+#: memory by streaming bytes that never contain a newline.
+MAX_LINE_BYTES = 64 * 1024 * 1024
+
 #: Checker fields a job may override per submission.  A whitelist keeps the
 #: wire surface reviewable: everything else comes from the server's default
 #: checker configuration.
@@ -132,6 +137,36 @@ def unit_from_wire(payload: Dict[str, object]) -> WorkUnit:
                     meta=dict(meta))
 
 
+#: Expected value type per overridable field, derived from the defaults so
+#: the whitelist cannot drift from :class:`CheckerConfig` itself.
+_OVERRIDE_TYPES: Dict[str, type] = {
+    config_field.name: type(getattr(CheckerConfig(), config_field.name))
+    for config_field in dataclasses.fields(CheckerConfig)
+    if config_field.name in CHECKER_OVERRIDES
+}
+
+
+def _check_override_value(key: str, value: object) -> object:
+    """Validate one override's type at submit time (bad values must be a
+    submission-time rejection, not an opaque per-unit worker failure)."""
+    expected = _OVERRIDE_TYPES[key]
+    if expected is bool:
+        valid = isinstance(value, bool)
+    elif expected is int:
+        valid = isinstance(value, int) and not isinstance(value, bool)
+    elif expected is float:
+        valid = isinstance(value, (int, float)) and not isinstance(value, bool)
+        if valid:
+            value = float(value)
+    else:
+        valid = isinstance(value, expected)
+    if not valid:
+        raise ProtocolError(
+            f"checker override {key!r} must be {expected.__name__}, "
+            f"got {type(value).__name__}")
+    return value
+
+
 def checker_from_wire(base: CheckerConfig,
                       overrides: Optional[Dict[str, object]]) -> CheckerConfig:
     """The server's default checker with a job's whitelisted overrides."""
@@ -143,7 +178,9 @@ def checker_from_wire(base: CheckerConfig,
     if unknown:
         raise ProtocolError(
             f"checker overrides not allowed over the wire: {unknown}")
-    return dataclasses.replace(base, **overrides)
+    checked = {key: _check_override_value(key, value)
+               for key, value in overrides.items()}
+    return dataclasses.replace(base, **checked)
 
 
 def submit_message(units: Sequence[WorkUnit], priority: int = 0,
@@ -177,18 +214,25 @@ class LineSocket:
         self._sock.sendall(encode(message))
 
     def receive(self) -> Optional[Dict[str, object]]:
-        while b"\n" not in self._buffer:
-            try:
-                chunk = self._sock.recv(65536)
-            except (ConnectionResetError, BrokenPipeError, OSError):
-                return None
-            if not chunk:
-                return None
-            self._buffer += chunk
-        line, self._buffer = self._buffer.split(b"\n", 1)
-        if not line.strip():
-            return self.receive()
-        return decode(line)
+        while True:
+            while b"\n" not in self._buffer:
+                if len(self._buffer) > MAX_LINE_BYTES:
+                    # Unrecoverable framing state: the rest of the stream is
+                    # the same oversized line.  Drop the connection.
+                    self._buffer = b""
+                    self.close()
+                    raise ProtocolError(
+                        f"line exceeds {MAX_LINE_BYTES} bytes")
+                try:
+                    chunk = self._sock.recv(65536)
+                except (ConnectionResetError, BrokenPipeError, OSError):
+                    return None
+                if not chunk:
+                    return None
+                self._buffer += chunk
+            line, self._buffer = self._buffer.split(b"\n", 1)
+            if line.strip():                  # skip blank lines, iteratively
+                return decode(line)
 
     def close(self) -> None:
         try:
@@ -213,6 +257,7 @@ def error_message(reason: str, detail: str = "") -> Dict[str, object]:
 __all__ = [
     "CHECKER_OVERRIDES",
     "LineSocket",
+    "MAX_LINE_BYTES",
     "OPS",
     "PROTOCOL_VERSION",
     "ProtocolError",

@@ -78,6 +78,11 @@ class ServeConfig:
     #: Per-client outbox level above which the scheduler stops dispatching
     #: that client's units (the backpressure knob).
     outbox_high_water: int = 64
+    #: During drain, a client whose outbox stays at the high-water mark this
+    #: many seconds (it stopped reading but still holds undispatched units)
+    #: has its jobs cancelled and its connection cut, so a wedged consumer
+    #: cannot hold the drain open forever.
+    drain_stall_timeout: float = 10.0
     #: Cumulative budget multipliers for retrying timed-out functions.
     escalation_factors: Tuple[float, ...] = (4.0, 16.0)
     #: Chrome trace-event JSON written on drain (implies tracing).
@@ -99,6 +104,7 @@ class _ClientConn:
         self.writer = threading.Thread(target=self._write_loop, daemon=True,
                                        name=f"serve-writer-{client_id}")
         self.closed = False
+        self.stalled_since: Optional[float] = None
         self.writer.start()
 
     def _write_loop(self) -> None:
@@ -112,17 +118,24 @@ class _ClientConn:
                 break
         self.socket.close()
 
-    def enqueue(self, message: Dict[str, object]) -> None:
+    def enqueue(self, message: Dict[str, object],
+                timeout: float = 30.0) -> None:
         if not self.closed:
             try:
-                self.outbox.put(message, timeout=30.0)
+                self.outbox.put(message, timeout=timeout)
             except queue_module.Full:
                 pass                          # client wedged; reader will reap
 
     def shutdown(self) -> None:
         if not self.closed:
             self.closed = True
-            self.outbox.put(None)
+            try:
+                self.outbox.put_nowait(None)
+            except queue_module.Full:
+                # Writer wedged on a full outbox: closing the socket errors
+                # out its blocked sendall, which makes it exit without the
+                # sentinel.
+                self.socket.close()
 
 
 class ServeServer:
@@ -245,19 +258,29 @@ class ServeServer:
             thread.start()
 
     def _read_loop(self, client: _ClientConn) -> None:
-        while True:
-            try:
-                message = client.socket.receive()
-            except protocol.ProtocolError as exc:
-                client.enqueue(protocol.error_message("protocol", str(exc)))
-                continue
-            if message is None:
-                break
-            try:
-                self._handle_op(client, message)
-            except protocol.ProtocolError as exc:
-                client.enqueue(protocol.error_message("protocol", str(exc)))
-        self._disconnect(client)
+        # The try/finally guarantees _disconnect runs no matter what kills
+        # the loop — without it, an unexpected exception would leak the
+        # client's jobs and quota until shutdown.
+        try:
+            while True:
+                try:
+                    message = client.socket.receive()
+                except protocol.ProtocolError as exc:
+                    # Undecodable line: report and keep reading.  An
+                    # oversized line closed the socket inside receive(), so
+                    # the next iteration returns None and disconnects.
+                    client.enqueue(protocol.error_message("protocol",
+                                                          str(exc)))
+                    continue
+                if message is None:
+                    break
+                try:
+                    self._handle_op(client, message)
+                except protocol.ProtocolError as exc:
+                    client.enqueue(protocol.error_message("protocol",
+                                                          str(exc)))
+        finally:
+            self._disconnect(client)
 
     def _disconnect(self, client: _ClientConn) -> None:
         finished: List[Job] = []
@@ -332,9 +355,14 @@ class ServeServer:
                     self.config.results_dir, f"{job.job_id}.jsonl"))
             self.metrics.inc("serve.jobs_accepted")
             self._update_queue_gauges()
+            # "accepted" must be enqueued BEFORE the dispatcher is notified
+            # (i.e. inside the locked region): a warm-cache unit can complete
+            # and emit its "result" as soon as the lock is released, and the
+            # per-client outbox is the serialization point for wire order.
+            client.enqueue({"type": "accepted", "job": job.job_id,
+                            "units": job.total_units, "priority": priority},
+                           timeout=5.0)      # bounded: we hold the lock
             self._wakeup.notify_all()
-        client.enqueue({"type": "accepted", "job": job.job_id,
-                        "units": job.total_units, "priority": priority})
 
     def _handle_cancel(self, client: _ClientConn,
                        message: Dict[str, object]) -> None:
@@ -394,9 +422,11 @@ class ServeServer:
                 if self._pool is not None and self._pool.has_capacity():
                     picked = self._scheduler.next_unit(self._client_ready)
                 if picked is None:
-                    if self.draining and self._drained_locked():
-                        self._wakeup.notify_all()
-                        break
+                    if self.draining:
+                        if self._drained_locked():
+                            self._wakeup.notify_all()
+                            break
+                        self._reap_stalled_locked()
                     self._wakeup.wait(timeout=0.05)
                     continue
                 job, index, unit = picked
@@ -409,6 +439,41 @@ class ServeServer:
     def _drained_locked(self) -> bool:
         return self._scheduler.idle() and \
             (self._pool is None or self._pool.outstanding == 0)
+
+    def _reap_stalled_locked(self) -> None:
+        """Cut clients that stopped reading while the server drains.
+
+        A connected-but-wedged consumer keeps its outbox at high-water, so
+        the scheduler never dispatches its remaining units and the drain can
+        never complete.  After ``drain_stall_timeout`` seconds at high-water
+        its jobs are cancelled and the connection dropped; closing the
+        socket also errors out a writer thread blocked in ``sendall``.
+        Called with the server lock held (the lock is re-entrant, so
+        ``_finish_job`` may run inline for jobs with nothing in flight).
+        """
+        now = time.monotonic()
+        for client in list(self._clients.values()):
+            if client.outbox.qsize() < self.config.outbox_high_water:
+                client.stalled_since = None
+                continue
+            if client.stalled_since is None:
+                client.stalled_since = now
+                continue
+            if now - client.stalled_since < self.config.drain_stall_timeout:
+                continue
+            self._clients.pop(client.client_id, None)
+            self.metrics.set_gauge("serve.clients", len(self._clients))
+            self.metrics.inc("serve.clients_reaped")
+            finished: List[Job] = []
+            for job_id in self._scheduler.cancel_client(client.client_id):
+                self.metrics.inc("serve.jobs_cancelled")
+                job = self._scheduler.jobs.get(job_id)
+                if job is not None and job.finished:
+                    finished.append(job)
+            client.socket.close()             # unblocks sendall / recv
+            client.shutdown()
+            for job in finished:
+                self._finish_job(job)
 
     # -- collector ----------------------------------------------------------------
 

@@ -10,6 +10,7 @@ with batch engine runs, and the ``serve`` / ``submit`` CLI round trip.
 import json
 import os
 import signal
+import socket
 import subprocess
 import sys
 import threading
@@ -97,6 +98,53 @@ def test_checker_overrides_are_whitelisted():
         protocol.checker_from_wire(base, {"backend": "pysat"})
     with pytest.raises(protocol.ProtocolError):
         protocol.checker_from_wire(base, {"no_such_field": 1})
+
+
+def test_checker_overrides_are_type_checked():
+    """Bad override *values* must be a submit-time rejection, not an opaque
+    per-unit failure inside the workers."""
+    base = CheckerConfig()
+    with pytest.raises(protocol.ProtocolError):
+        protocol.checker_from_wire(base, {"solver_timeout": "x"})
+    with pytest.raises(protocol.ProtocolError):
+        protocol.checker_from_wire(base, {"solver_timeout": {"nested": 1}})
+    with pytest.raises(protocol.ProtocolError):
+        protocol.checker_from_wire(base, {"incremental": "yes"})
+    with pytest.raises(protocol.ProtocolError):
+        protocol.checker_from_wire(base, {"incremental": 1})   # not a bool
+    with pytest.raises(protocol.ProtocolError):
+        protocol.checker_from_wire(base, {"max_conflicts": 1.5})
+    with pytest.raises(protocol.ProtocolError):
+        protocol.checker_from_wire(base, {"witness_seed": True})
+    # JSON has one number type: ints are fine where a float is expected.
+    assert protocol.checker_from_wire(base, {"solver_timeout": 2}) \
+        .solver_timeout == 2.0
+
+
+def _line_socket_pair():
+    left, right = socket.socketpair()
+    return left, protocol.LineSocket(right)
+
+
+def test_receive_skips_blank_line_floods_without_recursing():
+    """Thousands of consecutive blank lines must not blow the stack (the
+    old implementation recursed once per blank line)."""
+    sender, receiver = _line_socket_pair()
+    sender.sendall(b"\n" * 5000 + protocol.encode({"op": "ping"}))
+    assert receiver.receive() == {"op": "ping"}
+    sender.close()
+    assert receiver.receive() is None
+
+
+def test_receive_caps_line_length(monkeypatch):
+    monkeypatch.setattr(protocol, "MAX_LINE_BYTES", 1024)
+    sender, receiver = _line_socket_pair()
+    sender.sendall(b"x" * 4096)               # no newline in sight
+    with pytest.raises(protocol.ProtocolError):
+        receiver.receive()
+    # The connection is closed: the stream was unrecoverable.
+    assert receiver.receive() is None
+    sender.close()
 
 
 def test_require_op_rejects_unknown_ops():
@@ -287,6 +335,25 @@ def test_pool_rejects_duplicate_task_ids():
         pool.submit("t", WorkUnit(name="a", source=STABLE))
         with pytest.raises(ValueError):
             pool.submit("t", WorkUnit(name="b", source=STABLE))
+    finally:
+        pool.close(drain=False)
+
+
+def test_pool_completed_history_is_bounded():
+    """The duplicate-detection set must not grow one entry per unit ever
+    processed — the daemon runs for months."""
+    pool = WarmWorkerPool(workers=1, completed_history=2)
+    try:
+        for index in range(4):
+            pool.submit(f"t{index}", WorkUnit(name=f"t{index}", source=STABLE))
+            events = pool.drain(timeout=120.0)
+            assert any(e.kind == "done" and e.task_id == f"t{index}"
+                       for e in events)
+        assert len(pool._completed) <= 2
+        assert len(pool._completed_order) <= 2
+        # Recent ids are still rejected as duplicates.
+        with pytest.raises(ValueError):
+            pool.submit("t3", WorkUnit(name="again", source=STABLE))
     finally:
         pool.close(drain=False)
 
@@ -495,6 +562,86 @@ def test_status_and_ping(serve_socket):
 def test_connecting_to_a_dead_socket_fails_cleanly(tmp_path):
     with pytest.raises(ServeError):
         ServeClient(str(tmp_path / "nobody-home.sock"))
+
+
+def test_records_racing_the_accept_reply_are_not_lost(tmp_path):
+    """Demux regression: a warm-cache job can complete so fast that its
+    ``result`` / ``job-done`` messages sit in the same socket read as the
+    ``accepted`` reply.  The client's reader must register the job handle
+    before touching the next message, or the stream is silently dropped and
+    ``records()`` hangs."""
+    sock_path = str(tmp_path / "fake.sock")
+    listener = socket.socket(socket.AF_UNIX, socket.SOCK_STREAM)
+    listener.bind(sock_path)
+    listener.listen(1)
+
+    def fake_server():
+        conn, _addr = listener.accept()
+        line = protocol.LineSocket(conn)
+        while True:
+            message = line.receive()
+            if message is None:
+                break
+            if message.get("op") == "hello":
+                line.send({"type": "welcome",
+                           "proto": protocol.PROTOCOL_VERSION,
+                           "client_id": "client-1", "workers": 1})
+            elif message.get("op") == "submit":
+                # The whole job, one write: accepted + records + done hit
+                # the client reader back to back.
+                conn.sendall(
+                    protocol.encode({"type": "accepted", "job": "job-1",
+                                     "units": 1, "priority": 0})
+                    + protocol.encode({"type": "result", "job": "job-1",
+                                       "record": {"type": "unit",
+                                                  "unit": "a.c"}})
+                    + protocol.encode({"type": "result", "job": "job-1",
+                                       "record": {"type": "run"}})
+                    + protocol.encode({"type": "job-done", "job": "job-1",
+                                       "status": "ok", "units": 1}))
+        conn.close()
+
+    server_thread = threading.Thread(target=fake_server, daemon=True)
+    server_thread.start()
+    try:
+        with ServeClient(sock_path) as client:
+            job = client.submit([("a.c", STABLE)])
+            records = job.wait(timeout=10.0)
+        assert [r["type"] for r in records] == ["unit", "run"]
+        assert job.status == "ok"
+    finally:
+        listener.close()
+        server_thread.join(timeout=10)
+
+
+def test_drain_reaps_wedged_clients(serve_socket):
+    """A client that stops reading while it still has undispatched units
+    must not hold a drain open forever: after ``drain_stall_timeout`` its
+    jobs are cancelled and the daemon finishes draining."""
+    server = _start_server(serve_socket, workers=1, outbox_high_water=2,
+                           drain_stall_timeout=1.0)
+    # Raw socket client so the test controls reads exactly: ~1 MiB of meta
+    # per record overwhelms the kernel socket buffers, wedging the server's
+    # writer thread and pinning the outbox at high-water.
+    conn = socket.socket(socket.AF_UNIX, socket.SOCK_STREAM)
+    conn.connect(serve_socket)
+    try:
+        line = protocol.LineSocket(conn)
+        units = [WorkUnit(name=f"u{i}.c", source=STABLE,
+                          meta={"pad": "x" * (1 << 20)}) for i in range(8)]
+        line.send(protocol.submit_message(units))
+        accepted = line.receive()
+        assert accepted["type"] == "accepted"
+        # Stop reading entirely; give the pool a moment to produce output.
+        time.sleep(0.5)
+        server.request_drain(reason="test")
+        assert server.serve_forever(timeout=60.0), \
+            "drain wedged on a non-reading client"
+        # The drain completed *because* the wedged client was reaped.
+        counters = server.metrics.snapshot()["counters"]
+        assert counters.get("serve.clients_reaped", 0) == 1
+    finally:
+        conn.close()
 
 
 def test_job_trace_grafts_under_server_root(serve_socket, tmp_path):
