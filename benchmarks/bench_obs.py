@@ -1,6 +1,6 @@
 """Observability smoke: trace schema, stage coverage, and tracing overhead.
 
-Three acceptance properties of the ``repro.obs`` layer (docs/OBSERVABILITY.md):
+Four acceptance properties of the ``repro.obs`` layer (docs/OBSERVABILITY.md):
 
 * **Loadable traces.** A traced engine run writes a Chrome trace-event JSON
   document that passes the exporter's own schema validator (the same shape
@@ -9,19 +9,25 @@ Three acceptance properties of the ``repro.obs`` layer (docs/OBSERVABILITY.md):
   stage that ran — frontend, encode, elimination, simplification, report,
   witness replay — and one ``solver.query`` span per solver query counted
   by the run stats.
-* **Bounded overhead.** Recording spans costs < 10% wall-clock on the
-  Figure 16 smoke workload (min-of-3 both ways, plus a small absolute
+* **Bounded tracing overhead.** Recording spans costs < 10% wall-clock on
+  the Figure 16 smoke workload (min-of-3 both ways, plus a small absolute
   slack so a loaded CI box cannot flake the ratio on sub-second runs).
+* **Bounded ops overhead.** The serve daemon's operational layer — debug
+  event log, metrics snapshots, slow-query recording, flight ring — costs
+  < 5% wall-clock on the serve smoke workload, measured as min-of-3 cold
+  daemon submissions with the layer fully on vs. fully off.
 """
 
 import json
 import time
 
+from repro.cluster import synthetic_cluster_corpus
 from repro.core.checker import CheckerConfig
 from repro.corpus.snippets import SNIPPETS
 from repro.engine.engine import CheckEngine, EngineConfig
 from repro.experiments.fig16 import run_figure16
 from repro.obs.chrometrace import validate_chrome_trace
+from repro.serve import ServeClient, ServeConfig, ServeServer
 
 #: Stage spans every traced snippet run must contain (stage 6 needs
 #: ``repair=True`` and is exercised by tests/test_obs.py instead).
@@ -81,3 +87,42 @@ def test_tracing_overhead_under_ten_percent(once, fast_mode, engine_workers):
           f"({(traced / untraced - 1.0) * 100.0:+.1f}%)")
     assert traced < untraced * 1.10 + 0.25, (
         f"tracing overhead too high: {untraced:.3f}s -> {traced:.3f}s")
+
+
+def test_ops_overhead_under_five_percent(tmp_path, once, fast_mode):
+    """The operational layer must not tax the serve smoke workload > 5%."""
+    instances = 8 if fast_mode else 24
+    corpus = synthetic_cluster_corpus(instances, seed=1)
+    units = [(f"{name}.c", source) for name, source in corpus]
+
+    def submit_wall(tag, **ops_kwargs):
+        # Fresh daemon per round: both sides start from a cold query cache,
+        # and daemon/worker boot stays outside the measured window.
+        socket_path = str(tmp_path / f"{tag}.sock")
+        server = ServeServer(ServeConfig(
+            socket_path=socket_path, workers=1, **ops_kwargs))
+        server.start()
+        try:
+            with ServeClient(socket_path, name="bench-obs") as client:
+                assert client.ping()
+                started = time.monotonic()
+                client.check(units, timeout=600.0)
+                return time.monotonic() - started
+        finally:
+            server.close()
+
+    def compare():
+        bare = min(submit_wall(f"bare{i}") for i in range(3))
+        full = min(submit_wall(
+            f"ops{i}",
+            log_path=str(tmp_path / f"ops{i}.log"), log_level="debug",
+            metrics_path=str(tmp_path / f"ops{i}.prom"),
+            metrics_interval=0.2, slow_query_ms=0.0) for i in range(3))
+        return bare, full
+
+    bare, full = once(compare)
+    print()
+    print(f"serve smoke ({len(units)} units): ops off {bare:.3f}s, "
+          f"ops on {full:.3f}s ({(full / bare - 1.0) * 100.0:+.1f}%)")
+    assert full < bare * 1.05 + 0.25, (
+        f"ops-layer overhead too high: {bare:.3f}s -> {full:.3f}s")

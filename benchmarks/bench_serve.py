@@ -15,6 +15,12 @@ The daemon's two contracts (docs/SERVE.md) measured together:
   cache every time.  ``--bench-fast`` relaxes the required margin to >1×
   (loaded CI boxes make tight ratios flaky); the full run demands ≥2×.
 
+The daemon runs with the full operational-observability layer enabled
+(``--log`` at debug, ``--metrics-file``, slow-query recording — see
+docs/OBSERVABILITY.md): verdict identity must hold *with* ops on, which is
+exactly the out-of-band contract — event-log/metrics/flight output never
+enters the result stream.
+
 Metrics land in ``BENCH_serve.json`` via the ``record_bench`` fixture.
 """
 
@@ -73,10 +79,16 @@ def test_serve_verdict_identity_and_warm_latency(tmp_path, once, fast_mode,
     socket_path = str(tmp_path / "bench.sock")
     workers = 1                               # sequential, like the batch CLI
 
+    log_path = str(tmp_path / "serve.log")
+    metrics_path = str(tmp_path / "metrics.prom")
+
     def run():
         batch_records = _batch_cli_records(paths, batch_out)
-        server = ServeServer(ServeConfig(socket_path=socket_path,
-                                         workers=workers))
+        server = ServeServer(ServeConfig(
+            socket_path=socket_path, workers=workers,
+            log_path=log_path, log_level="debug",
+            metrics_path=metrics_path, metrics_interval=0.2,
+            slow_query_ms=0.0))
         server.start()
         try:
             with ServeClient(socket_path, name="bench") as client:
@@ -96,13 +108,27 @@ def test_serve_verdict_identity_and_warm_latency(tmp_path, once, fast_mode,
     (batch_records, served_records, warm_records,
      warm_latency, cold_latency) = once(run)
 
-    # (a) Byte-identical per-unit verdict records, served vs. batch CLI.
+    # (a) Byte-identical per-unit verdict records, served vs. batch CLI —
+    # with the event log, metrics exporter, and slow-query recorder all on.
     batch_units = [r for r in batch_records if r["type"] == "unit"]
     served_units = [r for r in served_records if r["type"] == "unit"]
     assert len(batch_units) == len(served_units) == len(corpus)
     for served, batch in zip(served_units, batch_units):
         assert json.dumps(verdict_view(served), sort_keys=True) == \
             json.dumps(verdict_view(batch), sort_keys=True), served["unit"]
+
+    # The out-of-band telemetry actually happened, in its own files.
+    from repro.obs.ops import validate_log_record
+    from repro.obs.promexport import validate_prometheus_text
+
+    log_records = [json.loads(line) for line in
+                   open(log_path, encoding="utf-8") if line.strip()]
+    for log_record in log_records:
+        validate_log_record(log_record)
+    assert any(r["event"] == "slow-query" for r in log_records)
+    metrics_families = validate_prometheus_text(
+        open(metrics_path, encoding="utf-8").read())
+    assert metrics_families["serve_units_completed"]["value"] >= len(corpus)
 
     # (b) The warm submission answered from the resident cache...
     warm_run = warm_records[-1]

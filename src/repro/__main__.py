@@ -28,8 +28,10 @@ for A/B comparisons.
 accepting jobs over line-delimited JSON and streaming engine-schema
 records back.  ``python -m repro submit`` is its command-line client:
 submit source files (or ``--stdin``) as one job and print the streamed
-JSONL records.  ``check`` is an explicit alias for the default one-file
-mode, where ``--stdin`` (or a ``-`` source) reads the unit from stdin.
+JSONL records.  ``python -m repro top`` is the daemon's live dashboard
+(``--once --json`` for scripts).  ``check`` is an explicit alias for the
+default one-file mode, where ``--stdin`` (or a ``-`` source) reads the
+unit from stdin.
 
 Exit status (all modes): 0 — no unstable code, 1 — warnings/unstable
 findings reported (for ``fuzz``, any anomaly counts: diagnostics,
@@ -359,6 +361,29 @@ def build_serve_parser() -> argparse.ArgumentParser:
                         help="record server-lifetime spans (one subtree per "
                              "job) and write a Chrome trace-event JSON on "
                              "drain")
+    parser.add_argument("--log", metavar="PATH", default=None,
+                        help="structured JSONL event log (size-rotated; "
+                             "docs/OBSERVABILITY.md)")
+    parser.add_argument("--log-level", default="info",
+                        choices=("debug", "info", "warn", "error"),
+                        help="minimum level written to --log "
+                             "(default: info)")
+    parser.add_argument("--metrics-file", metavar="PATH", default=None,
+                        help="atomically rewrite a Prometheus text-format "
+                             "metrics snapshot at PATH for an external "
+                             "scraper")
+    parser.add_argument("--metrics-interval", type=float, default=2.0,
+                        metavar="SECONDS",
+                        help="seconds between --metrics-file rewrites "
+                             "(default: 2.0)")
+    parser.add_argument("--slow-query-ms", type=float, default=None,
+                        metavar="MS",
+                        help="log solver queries slower than MS "
+                             "milliseconds as slow-query events")
+    parser.add_argument("--flight-dir", metavar="DIR", default=None,
+                        help="directory for flight-recorder post-mortem "
+                             "dumps (default: next to --log, else next to "
+                             "the socket)")
     return parser
 
 
@@ -366,7 +391,7 @@ def serve_main(argv: Optional[List[str]] = None) -> int:
     args = build_serve_parser().parse_args(argv)
     from repro.serve import ServeConfig, ServeServer
 
-    signals = {"drain": False, "reload": False}
+    signals = {"drain": False, "reload": False, "dump": False}
 
     def _on_sigterm(_signum, _frame):
         signals["drain"] = True
@@ -375,10 +400,15 @@ def serve_main(argv: Optional[List[str]] = None) -> int:
         signals["drain"] = True
         signals["reload"] = True
 
+    def _on_sigquit(_signum, _frame):
+        signals["dump"] = True                # flight dump, keep running
+
     try:
         signal.signal(signal.SIGTERM, _on_sigterm)
         if hasattr(signal, "SIGHUP"):
             signal.signal(signal.SIGHUP, _on_sighup)
+        if hasattr(signal, "SIGQUIT"):
+            signal.signal(signal.SIGQUIT, _on_sigquit)
     except ValueError:
         pass                                  # not the main thread (tests)
 
@@ -389,7 +419,10 @@ def serve_main(argv: Optional[List[str]] = None) -> int:
                                   max_conflicts=args.max_conflicts),
             cache_path=args.cache, results_dir=args.results_dir,
             max_queued_units=args.max_queue, client_quota=args.quota,
-            trace_path=args.trace)
+            trace_path=args.trace, log_path=args.log,
+            log_level=args.log_level, metrics_path=args.metrics_file,
+            metrics_interval=args.metrics_interval,
+            slow_query_ms=args.slow_query_ms, flight_dir=args.flight_dir)
         server = ServeServer(config)
         try:
             server.start()
@@ -401,6 +434,10 @@ def serve_main(argv: Optional[List[str]] = None) -> int:
         print(f"serve: listening on {args.socket} "
               f"({args.workers} workers: {pids})", flush=True)
         while server.running:
+            if signals["dump"]:
+                signals["dump"] = False
+                path = server.dump_flight(reason="SIGQUIT")
+                print(f"serve: flight record dumped to {path}", flush=True)
             if signals["drain"]:
                 signals["drain"] = False
                 server.request_drain(reason="signal",
@@ -512,6 +549,35 @@ def submit_main(argv: Optional[List[str]] = None) -> int:
         client.close()
 
 
+def build_top_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro top",
+        description="Live dashboard for a running checking daemon: queue "
+                    "depth, per-worker state, warm-hit rate, latency "
+                    "sparkline, recent events (docs/SERVE.md).")
+    _add_version(parser)
+    parser.add_argument("--socket", metavar="PATH",
+                        default="repro-serve.sock",
+                        help="daemon socket to connect to "
+                             "(default: repro-serve.sock)")
+    parser.add_argument("--interval", type=float, default=1.0,
+                        metavar="SECONDS",
+                        help="seconds between refreshes (default: 1.0)")
+    parser.add_argument("--once", action="store_true",
+                        help="print one frame and exit")
+    parser.add_argument("--json", action="store_true",
+                        help="with --once: print the raw status reply as "
+                             "JSON (for scripts and CI)")
+    return parser
+
+
+def top_cli_main(argv: Optional[List[str]] = None) -> int:
+    args = build_top_parser().parse_args(argv)
+    from repro.serve.top import top_main
+
+    return top_main(args)
+
+
 def _raise_keyboard_interrupt(_signum, _frame):
     raise KeyboardInterrupt
 
@@ -532,6 +598,8 @@ def main(argv: Optional[List[str]] = None) -> int:
             return cluster_main(argv[1:])
         if argv and argv[0] == "submit":
             return submit_main(argv[1:])
+        if argv and argv[0] == "top":
+            return top_cli_main(argv[1:])
         if argv and argv[0] == "check":
             argv = argv[1:]
         return check_main(argv)

@@ -114,6 +114,11 @@ class CheckerConfig:
     #: (repro.obs; CLI: ``--trace OUT.json``).  Span identities are
     #: deterministic — see docs/OBSERVABILITY.md.
     trace: bool = False
+    #: Record every solver query slower than this many milliseconds (key,
+    #: backend, verdict, duration) on ``UnitResult.slow_queries`` — the serve
+    #: daemon's slow-query log (docs/OBSERVABILITY.md).  None disables the
+    #: recorder entirely.
+    slow_query_ms: Optional[float] = None
 
     def describe(self) -> str:
         """Render the active configuration for reports and logs.

@@ -36,6 +36,7 @@ from typing import List, Optional, Sequence, Set
 
 from repro.core.encode import FunctionEncoder
 from repro.obs.metrics import merge_counter_dataclass
+from repro.obs.ops import note_query
 from repro.obs.trace import span
 from repro.solver.solver import CheckResult, Solver, SolverStats
 from repro.solver.terms import Term
@@ -165,6 +166,9 @@ class QueryContext:
                 engine.cache.store(key, verdict, timeout=engine.timeout,
                                    max_conflicts=engine.max_conflicts,
                                    elapsed=elapsed)
+            note_query(key, verdict, elapsed,
+                       engine.backend or (",".join(engine.portfolio)
+                                          if engine.portfolio else "builtin"))
             query_span.set_arg("verdict", verdict)
             return engine._record(verdict)
 

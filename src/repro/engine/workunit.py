@@ -35,6 +35,7 @@ from repro.core.checker import CheckerConfig, StackChecker
 from repro.core.report import BugReport
 from repro.engine.cache import SolverQueryCache
 from repro.ir.function import Module
+from repro.obs import ops as obs_ops
 from repro.obs import trace as obs_trace
 from repro.obs.trace import span
 
@@ -73,6 +74,12 @@ class UnitResult:
     #: Serialized trace blob (spans/timings/metrics) when tracing was on;
     #: populated by the engine from ``meta["obs"]`` before sink writes.
     trace: Optional[dict] = None
+    #: Solver queries over ``CheckerConfig.slow_query_ms``, as JSON-safe
+    #: dicts (key, backend, verdict, duration_ms).  Deliberately a dedicated
+    #: field rather than a ``meta`` entry: ``meta`` is serialized into the
+    #: deterministic JSONL unit records, and slow-query timings are
+    #: wall-clock — they must stay out-of-band (docs/OBSERVABILITY.md).
+    slow_queries: List[dict] = field(default_factory=list)
 
     @property
     def ok(self) -> bool:
@@ -105,21 +112,37 @@ def check_work_unit(unit: WorkUnit, config: CheckerConfig,
 
     With ``config.trace`` set, the unit runs under a fresh tracer whose
     serialized spans ride home in ``meta["obs"]`` (see module docstring).
+    With ``config.slow_query_ms`` set, a process-local
+    :class:`~repro.obs.ops.SlowQueryRecorder` is active for the unit's
+    lifetime and its records ride home in ``UnitResult.slow_queries``.
     """
-    if not config.trace:
-        return _check_work_unit(unit, config, cache=cache,
-                                escalation_factors=escalation_factors,
-                                drain_cache=drain_cache)
-    tracer = obs_trace.Tracer(name=f"unit:{unit.name}")
-    previous = obs_trace.activate(tracer)
+    recorder = None
+    previous_slow = None
+    if config.slow_query_ms is not None:
+        recorder = obs_ops.SlowQueryRecorder(config.slow_query_ms)
+        previous_slow = obs_ops.activate_slow_queries(recorder)
     try:
-        result = _check_work_unit(unit, config, cache=cache,
-                                  escalation_factors=escalation_factors,
-                                  drain_cache=drain_cache)
+        if not config.trace:
+            result = _check_work_unit(unit, config, cache=cache,
+                                      escalation_factors=escalation_factors,
+                                      drain_cache=drain_cache)
+        else:
+            tracer = obs_trace.Tracer(name=f"unit:{unit.name}")
+            previous = obs_trace.activate(tracer)
+            try:
+                result = _check_work_unit(
+                    unit, config, cache=cache,
+                    escalation_factors=escalation_factors,
+                    drain_cache=drain_cache)
+            finally:
+                obs_trace.restore(previous)
+            result.meta = dict(result.meta)
+            result.meta["obs"] = tracer.to_blob()
     finally:
-        obs_trace.restore(previous)
-    result.meta = dict(result.meta)
-    result.meta["obs"] = tracer.to_blob()
+        if recorder is not None:
+            obs_ops.restore_slow_queries(previous_slow)
+    if recorder is not None:
+        result.slow_queries = recorder.records
     return result
 
 

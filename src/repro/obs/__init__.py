@@ -10,7 +10,12 @@ Three layers:
   legacy ``SolverStats``/``RunStats`` merges route through;
 * exporters — :mod:`repro.obs.chrometrace` (Perfetto-loadable Chrome
   trace-event JSON) and :mod:`repro.obs.report` (per-run text profile
-  along Figure 16's axes).
+  along Figure 16's axes);
+* operational observability for long-running processes —
+  :mod:`repro.obs.ops` (structured event log, slow-query recorder),
+  :mod:`repro.obs.promexport` (Prometheus text-format exporter), and
+  :mod:`repro.obs.flightrec` (crash flight recorder) — the pieces the
+  serve daemon wires together.
 
 See ``docs/OBSERVABILITY.md`` for the user-facing guide.
 """
@@ -28,6 +33,21 @@ from repro.obs.metrics import (
     absorb_dataclass,
     config_snapshot,
     merge_counter_dataclass,
+)
+from repro.obs.flightrec import FlightRecorder, validate_flight_record
+from repro.obs.ops import (
+    EventLog,
+    Ops,
+    SlowQueryRecorder,
+    note_query,
+    validate_log_record,
+)
+from repro.obs.promexport import (
+    parse_prometheus,
+    render_prometheus,
+    sanitize_metric_name,
+    validate_prometheus_text,
+    write_metrics_file,
 )
 from repro.obs.report import aggregate_spans, render_profile, time_split
 from repro.obs.trace import (
@@ -73,4 +93,16 @@ __all__ = [
     "aggregate_spans",
     "time_split",
     "render_profile",
+    "EventLog",
+    "Ops",
+    "SlowQueryRecorder",
+    "note_query",
+    "validate_log_record",
+    "FlightRecorder",
+    "validate_flight_record",
+    "render_prometheus",
+    "parse_prometheus",
+    "sanitize_metric_name",
+    "validate_prometheus_text",
+    "write_metrics_file",
 ]

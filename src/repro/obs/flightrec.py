@@ -1,0 +1,155 @@
+"""Crash flight recorder: bounded in-memory history, schema'd post-mortems.
+
+An always-on daemon cannot answer "why did worker 3 die at 2am" from a
+metrics counter — by the time anyone looks, the interesting context is
+gone.  The :class:`FlightRecorder` keeps a bounded ring of the most recent
+operational **events** (every :class:`~repro.obs.ops.Ops` emission, at all
+levels) and **spans** (completed units: name, timing, worker, verdict
+summary) in the process, and serializes both into one self-contained JSON
+document when something goes wrong:
+
+* a warm worker dies (the pool triggers a dump via ``emit(dump=True)``),
+* a server thread hits an unhandled exception,
+* an operator sends ``SIGQUIT`` to the daemon.
+
+The dump is out-of-band by design — its own file, wall-clock timestamps,
+never part of a result stream — and validates against
+:func:`validate_flight_record`, which the tests and the CI serve-smoke job
+run against real dumps.  Dump files are named
+``repro-flight-<seq>-<reason>.json`` so repeated incidents never
+overwrite each other.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import re
+import threading
+import time
+from collections import deque
+from typing import Any, Deque, Dict, List, Optional
+
+__all__ = ["FlightRecorder", "validate_flight_record"]
+
+#: Filenames must stay shell-friendly whatever the triggering event's name.
+_SLUG = re.compile(r"[^a-zA-Z0-9_.-]+")
+
+
+class FlightRecorder:
+    """Bounded ring of recent events and completed spans, dumpable as JSON."""
+
+    def __init__(self, event_capacity: int = 256,
+                 span_capacity: int = 256) -> None:
+        self._events: Deque[Dict[str, Any]] = deque(maxlen=event_capacity)
+        self._spans: Deque[Dict[str, Any]] = deque(maxlen=span_capacity)
+        self._lock = threading.Lock()
+        self._seq = 0
+        self.dumps_written = 0
+
+    # -- recording ---------------------------------------------------------------
+
+    def record_event(self, record: Dict[str, Any]) -> None:
+        """Remember one event-log record (any level; the ring is unfiltered)."""
+        with self._lock:
+            self._events.append(record)
+
+    def record_span(self, name: str, dur: float, **meta: Any) -> None:
+        """Remember one completed span (a finished unit, a job, a drain)."""
+        with self._lock:
+            self._spans.append({
+                "name": name,
+                "ts": round(time.time(), 6),
+                "dur": round(float(dur), 6),
+                "meta": dict(meta),
+            })
+
+    def recent_events(self, count: int = 10) -> List[Dict[str, Any]]:
+        with self._lock:
+            events = list(self._events)
+        return events[-max(0, int(count)):]
+
+    def recent_spans(self, count: int = 10) -> List[Dict[str, Any]]:
+        with self._lock:
+            spans = list(self._spans)
+        return spans[-max(0, int(count)):]
+
+    # -- dumping -----------------------------------------------------------------
+
+    def dump(self, reason: str, directory: str,
+             detail: Optional[Dict[str, Any]] = None,
+             metrics: Optional[Dict[str, Any]] = None,
+             config: Optional[Dict[str, Any]] = None) -> str:
+        """Write one post-mortem document; returns its path.
+
+        The write is atomic (same-directory temp file + rename) so a
+        scraper tailing the directory never reads a half-written dump.
+        """
+        import repro
+
+        with self._lock:
+            self._seq += 1
+            seq = self._seq
+            document = {
+                "type": "flight",
+                "version": repro.__version__,
+                "seq": seq,
+                "reason": reason,
+                "ts": round(time.time(), 6),
+                "pid": os.getpid(),
+                "detail": dict(detail) if detail else {},
+                "events": list(self._events),
+                "spans": list(self._spans),
+                "metrics": dict(metrics) if metrics else {},
+                "config": dict(config) if config else {},
+            }
+        os.makedirs(directory or ".", exist_ok=True)
+        slug = _SLUG.sub("-", reason) or "unknown"
+        path = os.path.join(directory or ".",
+                            f"repro-flight-{seq:04d}-{slug}.json")
+        temp = f"{path}.tmp.{os.getpid()}"
+        with open(temp, "w", encoding="utf-8") as handle:
+            json.dump(document, handle, sort_keys=True, indent=2)
+            handle.write("\n")
+        os.replace(temp, path)
+        self.dumps_written += 1
+        return path
+
+
+def validate_flight_record(document: Any) -> None:
+    """Raise ``ValueError`` unless ``document`` is a well-formed dump."""
+    if not isinstance(document, dict):
+        raise ValueError("flight record is not an object")
+    if document.get("type") != "flight":
+        raise ValueError(f"flight record type must be 'flight', "
+                         f"got {document.get('type')!r}")
+    if not isinstance(document.get("version"), str):
+        raise ValueError("flight record needs a 'version' string")
+    if not isinstance(document.get("seq"), int) or document["seq"] < 1:
+        raise ValueError("flight record needs a positive integer 'seq'")
+    if not isinstance(document.get("reason"), str) or not document["reason"]:
+        raise ValueError("flight record needs a non-empty 'reason'")
+    if not isinstance(document.get("ts"), (int, float)):
+        raise ValueError("flight record needs a numeric 'ts'")
+    if not isinstance(document.get("pid"), int):
+        raise ValueError("flight record needs an integer 'pid'")
+    for key in ("detail", "metrics", "config"):
+        if not isinstance(document.get(key), dict):
+            raise ValueError(f"flight record needs a {key!r} object")
+    events = document.get("events")
+    if not isinstance(events, list):
+        raise ValueError("flight record needs an 'events' list")
+    from repro.obs.ops import validate_log_record
+
+    for record in events:
+        validate_log_record(record)
+    spans = document.get("spans")
+    if not isinstance(spans, list):
+        raise ValueError("flight record needs a 'spans' list")
+    for entry in spans:
+        if not isinstance(entry, dict) or \
+                not isinstance(entry.get("name"), str) or \
+                not isinstance(entry.get("ts"), (int, float)) or \
+                not isinstance(entry.get("dur"), (int, float)) or \
+                not isinstance(entry.get("meta"), dict):
+            raise ValueError(f"malformed flight span entry: {entry!r}")

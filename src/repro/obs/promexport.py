@@ -1,0 +1,258 @@
+"""Prometheus text-format export of a :class:`MetricsRegistry` snapshot.
+
+The registry's ``snapshot()`` dict (counters / gauges / histograms, see
+:mod:`repro.obs.metrics`) maps directly onto the three Prometheus families:
+
+* counters → ``# TYPE <name> counter`` with the running total,
+* gauges → ``# TYPE <name> gauge`` with the last sample,
+* histograms → ``# TYPE <name> histogram`` with **cumulative**
+  ``<name>_bucket{le="..."}`` series (one per upper bound plus ``+Inf``),
+  ``<name>_sum``, and ``<name>_count``.
+
+Names are sanitized to the Prometheus grammar
+(``[a-zA-Z_:][a-zA-Z0-9_:]*``) — the registry's dotted names
+(``serve.queue_depth``) become underscore names (``serve_queue_depth``),
+deterministically, with a collision check so two distinct metrics can
+never silently merge.
+
+Two consumers, one format: the serve daemon answers its ``metrics``
+protocol op with this text, and (with ``--metrics-file``) atomically
+rewrites a snapshot file an external scraper reads —
+:func:`write_metrics_file` uses a same-directory temp file + rename so
+the scraper never sees a torn write.  :func:`parse_prometheus` and
+:func:`validate_prometheus_text` close the loop: the tests round-trip
+every metric of a live registry through the format, and the CI
+serve-smoke job validates the scraped file.
+"""
+
+from __future__ import annotations
+
+import os
+import re
+from typing import Any, Dict, List, Mapping, Tuple
+
+__all__ = [
+    "parse_prometheus",
+    "render_prometheus",
+    "sanitize_metric_name",
+    "validate_prometheus_text",
+    "write_metrics_file",
+]
+
+_VALID_NAME = re.compile(r"^[a-zA-Z_:][a-zA-Z0-9_:]*$")
+_INVALID_CHARS = re.compile(r"[^a-zA-Z0-9_:]")
+
+#: Suffixes a histogram family reserves; scalar names may not end in them.
+_HISTOGRAM_SUFFIXES = ("_bucket", "_sum", "_count")
+
+
+def sanitize_metric_name(name: str) -> str:
+    """Map a registry metric name onto the Prometheus name grammar."""
+    sanitized = _INVALID_CHARS.sub("_", name)
+    if not sanitized or not _VALID_NAME.match(sanitized):
+        sanitized = f"_{sanitized}" if sanitized else "_"
+    return sanitized
+
+
+def _format_value(value: float) -> str:
+    """Prometheus float formatting: integers without a trailing ``.0``."""
+    number = float(value)
+    if number != number:                      # NaN
+        return "NaN"
+    if number in (float("inf"), float("-inf")):
+        return "+Inf" if number > 0 else "-Inf"
+    if number == int(number) and abs(number) < 1e15:
+        return str(int(number))
+    return repr(number)
+
+
+def _format_le(upper: float) -> str:
+    return "+Inf" if upper == float("inf") else _format_value(upper)
+
+
+def _unique_names(names, kind: str) -> Dict[str, str]:
+    """Sanitized name per metric, refusing post-sanitization collisions."""
+    mapping: Dict[str, str] = {}
+    seen: Dict[str, str] = {}
+    for name in names:
+        sanitized = sanitize_metric_name(name)
+        clash = seen.get(sanitized)
+        if clash is not None and clash != name:
+            raise ValueError(
+                f"{kind} metrics {clash!r} and {name!r} both sanitize to "
+                f"{sanitized!r}")
+        seen[sanitized] = name
+        mapping[name] = sanitized
+    return mapping
+
+
+def render_prometheus(snapshot: Mapping[str, Any]) -> str:
+    """One registry snapshot as Prometheus exposition text (version 0.0.4)."""
+    lines: List[str] = []
+    counters = dict(snapshot.get("counters", {}))
+    gauges = dict(snapshot.get("gauges", {}))
+    histograms = dict(snapshot.get("histograms", {}))
+
+    counter_names = _unique_names(sorted(counters), "counter")
+    gauge_names = _unique_names(sorted(gauges), "gauge")
+    histogram_names = _unique_names(sorted(histograms), "histogram")
+
+    for name in sorted(counters):
+        sanitized = counter_names[name]
+        lines.append(f"# HELP {sanitized} repro counter {name}")
+        lines.append(f"# TYPE {sanitized} counter")
+        lines.append(f"{sanitized} {_format_value(counters[name])}")
+    for name in sorted(gauges):
+        sanitized = gauge_names[name]
+        lines.append(f"# HELP {sanitized} repro gauge {name}")
+        lines.append(f"# TYPE {sanitized} gauge")
+        lines.append(f"{sanitized} {_format_value(gauges[name])}")
+    for name in sorted(histograms):
+        sanitized = histogram_names[name]
+        payload = histograms[name]
+        buckets = list(payload.get("buckets", ())) + [float("inf")]
+        counts = list(payload.get("counts", ()))
+        counts += [0] * (len(buckets) - len(counts))
+        lines.append(f"# HELP {sanitized} repro histogram {name}")
+        lines.append(f"# TYPE {sanitized} histogram")
+        cumulative = 0
+        for upper, count in zip(buckets, counts):
+            cumulative += int(count)
+            lines.append(f'{sanitized}_bucket{{le="{_format_le(upper)}"}} '
+                         f"{cumulative}")
+        lines.append(f"{sanitized}_sum {_format_value(payload.get('sum', 0.0))}")
+        lines.append(f"{sanitized}_count "
+                     f"{_format_value(payload.get('count', cumulative))}")
+    return "\n".join(lines) + "\n" if lines else ""
+
+
+def write_metrics_file(path: str, snapshot: Mapping[str, Any]) -> str:
+    """Atomically (re)write ``path`` with the rendered snapshot."""
+    text = render_prometheus(snapshot)
+    directory = os.path.dirname(path)
+    if directory:
+        os.makedirs(directory, exist_ok=True)
+    temp = f"{path}.tmp.{os.getpid()}"
+    with open(temp, "w", encoding="utf-8") as handle:
+        handle.write(text)
+    os.replace(temp, path)
+    return path
+
+
+_SAMPLE = re.compile(
+    r"^(?P<name>[a-zA-Z_:][a-zA-Z0-9_:]*)"
+    r"(?:\{(?P<labels>[^}]*)\})?"
+    r"\s+(?P<value>\S+)$")
+
+
+def _parse_number(text: str) -> float:
+    if text == "+Inf":
+        return float("inf")
+    if text == "-Inf":
+        return float("-inf")
+    return float(text)
+
+
+def parse_prometheus(text: str) -> Dict[str, Dict[str, Any]]:
+    """Parse exposition text back into ``{family: {...}}`` for round-trips.
+
+    Counter/gauge families parse to ``{"type", "value"}``; histogram
+    families to ``{"type", "buckets": [(le, cumulative), ...], "sum",
+    "count"}``.  Raises ``ValueError`` on text that does not scan.
+    """
+    families: Dict[str, Dict[str, Any]] = {}
+    types: Dict[str, str] = {}
+    helps: Dict[str, str] = {}
+    for raw in text.splitlines():
+        line = raw.strip()
+        if not line:
+            continue
+        if line.startswith("# HELP "):
+            parts = line.split(" ", 3)
+            if len(parts) < 3:
+                raise ValueError(f"malformed HELP line: {raw!r}")
+            helps[parts[2]] = parts[3] if len(parts) > 3 else ""
+            continue
+        if line.startswith("# TYPE "):
+            parts = line.split(" ")
+            if len(parts) != 4 or parts[3] not in ("counter", "gauge",
+                                                   "histogram"):
+                raise ValueError(f"malformed TYPE line: {raw!r}")
+            types[parts[2]] = parts[3]
+            families.setdefault(parts[2], {"type": parts[3]})
+            continue
+        if line.startswith("#"):
+            continue
+        match = _SAMPLE.match(line)
+        if match is None:
+            raise ValueError(f"malformed sample line: {raw!r}")
+        name = match.group("name")
+        value = _parse_number(match.group("value"))
+        base = name
+        for suffix in _HISTOGRAM_SUFFIXES:
+            if name.endswith(suffix) and name[: -len(suffix)] in types and \
+                    types[name[: -len(suffix)]] == "histogram":
+                base = name[: -len(suffix)]
+                break
+        family_type = types.get(base)
+        if family_type is None:
+            raise ValueError(f"sample {name!r} has no preceding TYPE line")
+        family = families.setdefault(base, {"type": family_type})
+        if family_type in ("counter", "gauge"):
+            if match.group("labels"):
+                raise ValueError(f"unexpected labels on scalar {name!r}")
+            family["value"] = value
+        else:
+            if name.endswith("_bucket"):
+                labels = match.group("labels") or ""
+                le_match = re.match(r'^le="([^"]*)"$', labels)
+                if le_match is None:
+                    raise ValueError(f"histogram bucket without an le "
+                                     f"label: {raw!r}")
+                family.setdefault("buckets", []).append(
+                    (_parse_number(le_match.group(1)), value))
+            elif name.endswith("_sum"):
+                family["sum"] = value
+            elif name.endswith("_count"):
+                family["count"] = value
+            else:
+                raise ValueError(f"unexpected histogram sample {name!r}")
+    for name, family in families.items():
+        if name not in helps:
+            raise ValueError(f"family {name!r} has no HELP line")
+        _check_family(name, family)
+    return families
+
+
+def _check_family(name: str, family: Dict[str, Any]) -> None:
+    if family["type"] in ("counter", "gauge"):
+        if "value" not in family:
+            raise ValueError(f"family {name!r} has a TYPE line but no sample")
+        return
+    buckets: List[Tuple[float, float]] = family.get("buckets", [])
+    if not buckets:
+        raise ValueError(f"histogram {name!r} has no buckets")
+    if buckets[-1][0] != float("inf"):
+        raise ValueError(f"histogram {name!r} is missing the +Inf bucket")
+    previous_le = float("-inf")
+    previous_count = 0.0
+    for le, cumulative in buckets:
+        if le <= previous_le:
+            raise ValueError(f"histogram {name!r} buckets not sorted by le")
+        if cumulative < previous_count:
+            raise ValueError(
+                f"histogram {name!r} bucket counts are not cumulative: "
+                f"le={_format_le(le)} fell from {previous_count} to "
+                f"{cumulative}")
+        previous_le, previous_count = le, cumulative
+    if "sum" not in family or "count" not in family:
+        raise ValueError(f"histogram {name!r} is missing _sum or _count")
+    if family["count"] != buckets[-1][1]:
+        raise ValueError(
+            f"histogram {name!r}: _count {family['count']} != +Inf bucket "
+            f"{buckets[-1][1]}")
+
+
+def validate_prometheus_text(text: str) -> Dict[str, Dict[str, Any]]:
+    """Parse-and-check; returns the families so callers can assert more."""
+    return parse_prometheus(text)

@@ -21,6 +21,7 @@ from repro.serve.pool import PoolEvent, WarmWorkerPool
 from repro.serve.protocol import PROTOCOL_VERSION, ProtocolError
 from repro.serve.scheduler import AdmissionError, Job, JobScheduler
 from repro.serve.server import ServeConfig, ServeServer
+from repro.serve.top import render_dashboard
 
 __all__ = [
     "AdmissionError",
@@ -37,4 +38,5 @@ __all__ = [
     "SubmitRejected",
     "WarmWorkerPool",
     "check_via_server",
+    "render_dashboard",
 ]

@@ -260,6 +260,10 @@ class ServeClient:
         """The daemon's live status (queue depth, workers, metrics)."""
         return self._op({"op": "status"}, expect=("status",))
 
+    def metrics(self) -> Dict[str, object]:
+        """The daemon's metrics: Prometheus ``text`` plus raw ``snapshot``."""
+        return self._op({"op": "metrics"}, expect=("metrics",))
+
     def ping(self) -> bool:
         return self._op({"op": "ping"}, expect=("pong",)).get("type") == "pong"
 

@@ -32,6 +32,7 @@ from __future__ import annotations
 import multiprocessing
 import os
 import queue as queue_module
+import threading
 import time
 from collections import deque
 from dataclasses import dataclass, field
@@ -41,6 +42,7 @@ from repro.core.checker import CheckerConfig
 from repro.core.report import BugReport
 from repro.engine.cache import SolverQueryCache
 from repro.engine.workunit import UnitResult, WorkUnit, check_work_unit
+from repro.obs.ops import Ops
 
 #: Environment flag gating test-only fault injection (see ``_worker_main``).
 TEST_HOOKS_ENV = "REPRO_SERVE_TEST_HOOKS"
@@ -71,6 +73,7 @@ def _worker_main(worker_id: int, task_queue, result_queue,
         task_id, unit, config = task
         result_queue.put(("start", worker_id, task_id, None))
         if unit.meta.get(CRASH_META_KEY) and os.environ.get(TEST_HOOKS_ENV):
+            time.sleep(0.05)              # let the "start" announcement flush
             os._exit(42)                  # simulated mid-unit worker death
         try:
             result = check_work_unit(unit, config or checker, cache=cache,
@@ -120,7 +123,8 @@ class WarmWorkerPool:
                  escalation_factors: Tuple[float, ...] = (4.0, 16.0),
                  start_method: Optional[str] = None,
                  max_retries: int = 1,
-                 completed_history: int = 4096) -> None:
+                 completed_history: int = 4096,
+                 ops: Optional[Ops] = None) -> None:
         if workers <= 0:
             raise ValueError("a warm pool needs at least one worker")
         if start_method is None:
@@ -133,11 +137,19 @@ class WarmWorkerPool:
         self.escalation_factors = tuple(escalation_factors)
         self.max_retries = max_retries
         self.deaths = 0                       # workers lost over the lifetime
+        self.ops = ops                        # operational event sink (or None)
         self._context = multiprocessing.get_context(start_method)
         self._result_queue = self._context.Queue()
         self._processes: Dict[int, multiprocessing.process.BaseProcess] = {}
         self._task_queues: Dict[int, object] = {}
         self._assigned: Dict[int, List[str]] = {}
+        self._worker_state: Dict[int, str] = {}
+        self._worker_units: Dict[int, int] = {}
+        self._worker_restarts: Dict[int, int] = {}
+        # Guards the worker-tracking dicts only: the daemon's status op reads
+        # worker_summary() from a client-reader thread while the collector
+        # thread reaps and respawns.
+        self._meta_lock = threading.Lock()
         self._tasks: Dict[str, _Task] = {}
         # Recently completed task ids, for duplicate-submit detection.  A
         # bounded ring, not a full history: the daemon processes millions of
@@ -152,7 +164,12 @@ class WarmWorkerPool:
 
     # -- lifecycle ---------------------------------------------------------------
 
-    def _spawn_worker(self) -> int:
+    def _emit(self, level: str, event: str, dump: bool = False,
+              **fields) -> None:
+        if self.ops is not None:
+            self.ops.emit(level, "pool", event, dump=dump, **fields)
+
+    def _spawn_worker(self, restarts: int = 0) -> int:
         worker_id = self._next_worker_id
         self._next_worker_id += 1
         task_queue = self._context.Queue()
@@ -163,15 +180,33 @@ class WarmWorkerPool:
                   seed, self.cache_capacity, self.escalation_factors),
             daemon=True)
         process.start()
-        self._processes[worker_id] = process
-        self._task_queues[worker_id] = task_queue
-        self._assigned[worker_id] = []
+        with self._meta_lock:
+            self._processes[worker_id] = process
+            self._task_queues[worker_id] = task_queue
+            self._assigned[worker_id] = []
+            self._worker_state[worker_id] = "idle"
+            self._worker_units[worker_id] = 0
+            self._worker_restarts[worker_id] = restarts
+        self._emit("info", "worker-spawned", worker=worker_id,
+                   pid=process.pid, restarts=restarts,
+                   cache_seed=len(seed) if seed else 0)
         return worker_id
+
+    def worker_summary(self) -> List[dict]:
+        """Per-live-worker operational detail, for the ``status`` op."""
+        with self._meta_lock:
+            return [{"worker": worker_id,
+                     "pid": self._processes[worker_id].pid,
+                     "state": self._worker_state.get(worker_id, "idle"),
+                     "units_done": self._worker_units.get(worker_id, 0),
+                     "restarts": self._worker_restarts.get(worker_id, 0)}
+                    for worker_id in sorted(self._processes)]
 
     @property
     def worker_pids(self) -> List[int]:
-        return [process.pid for process in self._processes.values()
-                if process.pid is not None]
+        with self._meta_lock:
+            return [process.pid for process in self._processes.values()
+                    if process.pid is not None]
 
     @property
     def outstanding(self) -> int:
@@ -247,14 +282,22 @@ class WarmWorkerPool:
             task = self._tasks.get(task_id)
             if task is not None and task.worker_id == worker_id:
                 task.started = True
+            if worker_id in self._worker_state:
+                self._worker_state[worker_id] = "busy"
+            self._emit("debug", "task-started", worker=worker_id,
+                       task=task_id)
             return []
         if kind == "bye":
             return []
         # kind == "done"
+        if worker_id in self._worker_state:
+            self._worker_state[worker_id] = "idle"
+            self._worker_units[worker_id] += 1
         task = self._tasks.pop(task_id, None)
         if task is None:                      # duplicate after a retry raced
             return []
         self._mark_completed(task_id)
+        self._emit("debug", "task-done", worker=worker_id, task=task_id)
         if task_id in self._assigned.get(task.worker_id, []):
             self._assigned[task.worker_id].remove(task_id)
         result: UnitResult = payload
@@ -273,15 +316,32 @@ class WarmWorkerPool:
             self.deaths += 1
             orphaned = [self._tasks[tid] for tid in self._assigned[worker_id]
                         if tid in self._tasks]
-            del self._processes[worker_id]
-            del self._task_queues[worker_id]
-            del self._assigned[worker_id]
+            dead_pid = process.pid
+            dead_restarts = self._worker_restarts.get(worker_id, 0)
+            with self._meta_lock:
+                del self._processes[worker_id]
+                del self._task_queues[worker_id]
+                del self._assigned[worker_id]
+                self._worker_state.pop(worker_id, None)
+                self._worker_units.pop(worker_id, None)
+                self._worker_restarts.pop(worker_id, None)
+            # The death dump is the flight recorder's reason to exist: it
+            # carries the dying unit's whole event trail out of the ring.
+            self._emit("error", "worker-died", dump=True, worker=worker_id,
+                       pid=dead_pid, exitcode=process.exitcode,
+                       orphaned=[task.task_id for task in orphaned],
+                       deaths=self.deaths)
             if not self._closed:
-                self._spawn_worker()          # keep the pool at full strength
+                # The replacement inherits the dead worker's restart count:
+                # "restarts" answers "how many processes has this slot
+                # burned", not "how often was this specific pid replaced".
+                self._spawn_worker(restarts=dead_restarts + 1)
             for task in orphaned:
                 if task.retries >= self.max_retries:
                     del self._tasks[task.task_id]
                     self._mark_completed(task.task_id)
+                    self._emit("error", "task-failed", task=task.task_id,
+                               worker=worker_id, retries=task.retries)
                     events.append(PoolEvent(
                         kind="failed", task_id=task.task_id,
                         error=f"worker {worker_id} died "
@@ -294,6 +354,8 @@ class WarmWorkerPool:
                     task.unit.meta = {k: v for k, v in task.unit.meta.items()
                                       if k != CRASH_META_KEY}
                 self._dispatch(task)
+                self._emit("warn", "task-retried", task=task.task_id,
+                           worker=worker_id, retries=task.retries)
                 events.append(PoolEvent(kind="retried", task_id=task.task_id,
                                         worker_id=worker_id))
         return events
@@ -328,11 +390,16 @@ class WarmWorkerPool:
             if process.is_alive():
                 process.terminate()
                 process.join(timeout=1.0)
-        self._processes.clear()
-        self._task_queues.clear()
-        self._assigned.clear()
+        with self._meta_lock:
+            self._processes.clear()
+            self._task_queues.clear()
+            self._assigned.clear()
+            self._worker_state.clear()
+            self._worker_units.clear()
+            self._worker_restarts.clear()
         self._result_queue.close()
         self._result_queue.join_thread()
+        self._emit("info", "pool-closed", drained=drain, deaths=self.deaths)
 
     def __enter__(self) -> "WarmWorkerPool":
         return self

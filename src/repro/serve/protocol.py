@@ -73,11 +73,11 @@ CHECKER_OVERRIDES = (
 )
 
 #: Client → server operations.
-OPS = ("hello", "submit", "cancel", "status", "ping", "drain")
+OPS = ("hello", "submit", "cancel", "status", "metrics", "ping", "drain")
 
 #: Server → client message types that answer one operation, in order.
 REPLY_TYPES = ("welcome", "accepted", "rejected", "cancel-ok", "status",
-               "pong", "draining", "error")
+               "metrics", "pong", "draining", "error")
 
 #: Server → client message types that belong to a job stream.
 STREAM_TYPES = ("result", "job-done")

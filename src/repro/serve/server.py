@@ -39,7 +39,10 @@ from repro.engine.cache import SolverQueryCache
 from repro.engine.engine import aggregate_results
 from repro.engine.sink import JsonlResultSink, report_to_dict
 from repro.engine.workunit import UnitResult
+from repro.obs.flightrec import FlightRecorder
 from repro.obs.metrics import MetricsRegistry, config_snapshot
+from repro.obs.ops import EventLog, Ops
+from repro.obs.promexport import render_prometheus, write_metrics_file
 from repro.obs.trace import Span, graft
 from repro.serve import protocol
 from repro.serve.pool import PoolEvent, WarmWorkerPool
@@ -89,6 +92,25 @@ class ServeConfig:
     trace_path: Optional[str] = None
     #: ``multiprocessing`` start method for the worker pool.
     start_method: str = field(default_factory=_default_start_method)
+    #: Structured JSONL event log (None = events feed only the flight
+    #: recorder's in-memory ring).  See docs/OBSERVABILITY.md.
+    log_path: Optional[str] = None
+    #: Minimum level written to the event log (the flight ring keeps all).
+    log_level: str = "info"
+    #: Event-log size-rotation threshold in bytes.
+    log_max_bytes: int = 10_000_000
+    #: Prometheus text-format snapshot rewritten atomically every
+    #: ``metrics_interval`` seconds for an external scraper (None = the
+    #: ``metrics`` protocol op is the only exporter).
+    metrics_path: Optional[str] = None
+    #: Seconds between ``metrics_path`` rewrites.
+    metrics_interval: float = 2.0
+    #: Log solver queries slower than this many milliseconds as
+    #: ``slow-query`` events (None = off).
+    slow_query_ms: Optional[float] = None
+    #: Directory receiving flight-recorder post-mortem dumps (default:
+    #: next to the event log, else next to the socket).
+    flight_dir: Optional[str] = None
 
 
 class _ClientConn:
@@ -148,9 +170,26 @@ class ServeServer:
 
             self.config.checker = dataclasses.replace(self.config.checker,
                                                       trace=True)
+        if self.config.slow_query_ms is not None \
+                and self.config.checker.slow_query_ms is None:
+            import dataclasses
+
+            self.config.checker = dataclasses.replace(
+                self.config.checker, slow_query_ms=self.config.slow_query_ms)
         self.cache = SolverQueryCache(capacity=self.config.cache_capacity,
                                       path=self.config.cache_path)
         self.metrics = MetricsRegistry()
+        flight_dir = self.config.flight_dir \
+            or os.path.dirname(self.config.log_path or "") \
+            or os.path.dirname(self.config.socket_path) or "."
+        self.ops = Ops(
+            log=EventLog(path=self.config.log_path,
+                         level=self.config.log_level,
+                         max_bytes=self.config.log_max_bytes),
+            flight=FlightRecorder(),
+            flight_dir=flight_dir,
+            metrics_fn=lambda: self.metrics.snapshot(),
+            config_fn=lambda: config_snapshot(self.config.checker))
         self.trace_root: Optional[Span] = \
             Span("serve") if self.config.checker.trace else None
         self._trace_offset = 0.0
@@ -185,7 +224,7 @@ class ServeServer:
             workers=self.config.workers, checker=self.config.checker,
             cache=self.cache, cache_capacity=self.config.cache_capacity,
             escalation_factors=self.config.escalation_factors,
-            start_method=self.config.start_method)
+            start_method=self.config.start_method, ops=self.ops)
         path = self.config.socket_path
         if os.path.exists(path):
             os.unlink(path)
@@ -197,6 +236,9 @@ class ServeServer:
         self._listener.listen(16)
         self.metrics.set_gauge("serve.workers", self.config.workers)
         self._update_queue_gauges()
+        self.ops.emit("info", "server", "listening", socket=path,
+                      workers=self.config.workers, pid=os.getpid(),
+                      cache_entries=len(self.cache))
         for target, name in ((self._accept_loop, "serve-accept"),
                              (self._dispatch_loop, "serve-dispatch"),
                              (self._collect_loop, "serve-collect")):
@@ -205,6 +247,11 @@ class ServeServer:
             self._threads.append(thread)
             if name == "serve-collect":
                 self._collector_thread = thread
+        if self.config.metrics_path:
+            thread = threading.Thread(target=self._metrics_loop, daemon=True,
+                                      name="serve-metrics")
+            thread.start()
+            self._threads.append(thread)
 
     def serve_forever(self, timeout: Optional[float] = None) -> bool:
         """Block until the daemon drains and stops; True if it did."""
@@ -228,6 +275,26 @@ class ServeServer:
                 return
             self.draining = True
             self._wakeup.notify_all()
+        self.ops.emit("info", "server", "draining", reason=reason,
+                      reload=reload)
+
+    def dump_flight(self, reason: str = "requested") -> str:
+        """Write a flight-recorder post-mortem now; returns its path.
+
+        This is the ``SIGQUIT`` handler's entry point — a live snapshot of
+        the daemon without stopping it.
+        """
+        return self.ops.dump(reason)
+
+    def _metrics_loop(self) -> None:
+        """Periodically rewrite the Prometheus snapshot file (atomically)."""
+        interval = max(0.05, float(self.config.metrics_interval))
+        while not self._stopped.wait(interval):
+            try:
+                write_metrics_file(self.config.metrics_path,
+                                   self.metrics.snapshot())
+            except OSError:
+                pass                          # disk hiccup; retry next tick
 
     def close(self) -> None:
         """Hard stop for tests/embedders: drain with whatever is queued."""
@@ -252,6 +319,8 @@ class ServeServer:
                     + self.config.workers * 2 + 8)
                 self._clients[client_id] = client
                 self.metrics.set_gauge("serve.clients", len(self._clients))
+            self.ops.emit("info", "server", "client-connected",
+                          client=client_id)
             thread = threading.Thread(target=self._read_loop,
                                       args=(client,), daemon=True,
                                       name=f"serve-reader-{client_id}")
@@ -284,15 +353,20 @@ class ServeServer:
 
     def _disconnect(self, client: _ClientConn) -> None:
         finished: List[Job] = []
+        cancelled: List[str] = []
         with self._wakeup:
             self._clients.pop(client.client_id, None)
             self.metrics.set_gauge("serve.clients", len(self._clients))
             for job_id in self._scheduler.cancel_client(client.client_id):
                 self.metrics.inc("serve.jobs_cancelled")
+                cancelled.append(job_id)
                 job = self._scheduler.jobs.get(job_id)
                 if job is not None and job.finished:
                     finished.append(job)
             self._wakeup.notify_all()
+        self.ops.emit("info", "server", "client-disconnected",
+                      client=client.client_id, name=client.name,
+                      cancelled_jobs=cancelled)
         for job in finished:
             self._finish_job(job)
         client.shutdown()
@@ -314,6 +388,13 @@ class ServeServer:
             client.enqueue({"type": "pong"})
         elif op == "status":
             client.enqueue(self._status_message())
+        elif op == "metrics":
+            with self._lock:
+                self._update_queue_gauges()
+                snapshot = self.metrics.snapshot()
+            client.enqueue({"type": "metrics",
+                            "text": render_prometheus(snapshot),
+                            "snapshot": snapshot})
         elif op == "drain":
             client.enqueue({"type": "draining"})
             self.request_drain(reason=f"drain op from {client.client_id}")
@@ -338,6 +419,9 @@ class ServeServer:
                 self.metrics.inc("serve.jobs_rejected")
                 client.enqueue({"type": "rejected", "reason": "draining",
                                 "detail": "server is draining"})
+                self.ops.emit("warn", "scheduler", "job-rejected",
+                              client=client.client_id, reason="draining",
+                              units=len(units))
                 return
             try:
                 job = self._scheduler.submit(client.client_id, units,
@@ -346,6 +430,9 @@ class ServeServer:
                 self.metrics.inc("serve.jobs_rejected")
                 client.enqueue({"type": "rejected", "reason": exc.reason,
                                 "detail": exc.detail})
+                self.ops.emit("warn", "scheduler", "job-rejected",
+                              client=client.client_id, reason=exc.reason,
+                              units=len(units))
                 return
             job.started_monotonic = time.monotonic()
             self._results[job.job_id] = []
@@ -363,6 +450,9 @@ class ServeServer:
                             "units": job.total_units, "priority": priority},
                            timeout=5.0)      # bounded: we hold the lock
             self._wakeup.notify_all()
+        self.ops.emit("info", "scheduler", "job-accepted", job=job.job_id,
+                      client=client.client_id, units=job.total_units,
+                      priority=priority)
 
     def _handle_cancel(self, client: _ClientConn,
                        message: Dict[str, object]) -> None:
@@ -384,11 +474,18 @@ class ServeServer:
             return
         client.enqueue({"type": "cancel-ok", "job": job_id,
                         "dropped": dropped})
+        self.ops.emit("info", "scheduler", "job-cancelled", job=job_id,
+                      client=client.client_id, dropped=dropped)
         if finished_job is not None:
             self._finish_job(finished_job)
 
     def _status_message(self) -> Dict[str, object]:
+        # The whole snapshot is assembled under the scheduler lock, with the
+        # queue gauges refreshed first: the direct queue_depth/in_flight
+        # fields and the serve.* gauges inside `metrics` describe the same
+        # instant and can never tear against a concurrent completion.
         with self._lock:
+            self._update_queue_gauges()
             snapshot = self.metrics.snapshot()
             return {
                 "type": "status",
@@ -401,7 +498,12 @@ class ServeServer:
                 "workers": self.config.workers,
                 "worker_pids": self.worker_pids,
                 "worker_deaths": self._pool.deaths if self._pool else 0,
+                "workers_detail": self._pool.worker_summary()
+                if self._pool else [],
+                "uptime_units": int(snapshot["counters"].get(
+                    "serve.units_completed", 0)),
                 "cache_entries": len(self.cache),
+                "recent_events": self.ops.recent_events(8),
                 "metrics": snapshot,
             }
 
@@ -414,26 +516,30 @@ class ServeServer:
         return client.outbox.qsize() < self.config.outbox_high_water
 
     def _dispatch_loop(self) -> None:
-        while True:
-            with self._wakeup:
-                if self._stopped.is_set():
-                    return
-                picked = None
-                if self._pool is not None and self._pool.has_capacity():
-                    picked = self._scheduler.next_unit(self._client_ready)
-                if picked is None:
-                    if self.draining:
-                        if self._drained_locked():
-                            self._wakeup.notify_all()
-                            break
-                        self._reap_stalled_locked()
-                    self._wakeup.wait(timeout=0.05)
-                    continue
-                job, index, unit = picked
-                task_id = f"{job.job_id}:{index}"
-                self._dispatch_times[task_id] = time.monotonic()
-                self._pool.submit(task_id, unit, config=job.checker)
-                self._update_queue_gauges()
+        try:
+            while True:
+                with self._wakeup:
+                    if self._stopped.is_set():
+                        return
+                    picked = None
+                    if self._pool is not None and self._pool.has_capacity():
+                        picked = self._scheduler.next_unit(self._client_ready)
+                    if picked is None:
+                        if self.draining:
+                            if self._drained_locked():
+                                self._wakeup.notify_all()
+                                break
+                            self._reap_stalled_locked()
+                        self._wakeup.wait(timeout=0.05)
+                        continue
+                    job, index, unit = picked
+                    task_id = f"{job.job_id}:{index}"
+                    self._dispatch_times[task_id] = time.monotonic()
+                    self._pool.submit(task_id, unit, config=job.checker)
+                    self._update_queue_gauges()
+        except BaseException as exc:
+            self._dump_server_exception("dispatch", exc)
+            raise
         self._shutdown()
 
     def _drained_locked(self) -> bool:
@@ -464,6 +570,9 @@ class ServeServer:
             self._clients.pop(client.client_id, None)
             self.metrics.set_gauge("serve.clients", len(self._clients))
             self.metrics.inc("serve.clients_reaped")
+            self.ops.emit("warn", "server", "client-reaped",
+                          client=client.client_id, name=client.name,
+                          outbox=client.outbox.qsize())
             finished: List[Job] = []
             for job_id in self._scheduler.cancel_client(client.client_id):
                 self.metrics.inc("serve.jobs_cancelled")
@@ -478,15 +587,29 @@ class ServeServer:
     # -- collector ----------------------------------------------------------------
 
     def _collect_loop(self) -> None:
-        while not self._closing.is_set():
-            if self._pool is None:
-                return
-            try:
-                events = self._pool.collect(timeout=0.1)
-            except (OSError, ValueError):
-                return                        # pool closed during shutdown
-            for event in events:
-                self._handle_pool_event(event)
+        try:
+            while not self._closing.is_set():
+                if self._pool is None:
+                    return
+                try:
+                    events = self._pool.collect(timeout=0.1)
+                except (OSError, ValueError):
+                    return                    # pool closed during shutdown
+                for event in events:
+                    self._handle_pool_event(event)
+        except BaseException as exc:
+            self._dump_server_exception("collect", exc)
+            raise
+
+    def _dump_server_exception(self, thread: str,
+                               exc: BaseException) -> None:
+        """Post-mortem for an unhandled exception on a service thread."""
+        try:
+            self.ops.emit("error", "server", "exception", dump=True,
+                          thread=thread,
+                          error=f"{type(exc).__name__}: {exc}")
+        except Exception:
+            pass                              # the dump must not mask `exc`
 
     def _handle_pool_event(self, event: PoolEvent) -> None:
         if event.kind == "retried":
@@ -502,13 +625,20 @@ class ServeServer:
         else:
             result = event.result
             result.trace = result.meta.pop("obs", None)
+        slow_queries = result.slow_queries
+        result.slow_queries = []
+        for slow in slow_queries:
+            self.metrics.inc("serve.slow_queries")
+            self.ops.emit("warn", "solver", "slow-query", unit=result.name,
+                          worker=event.worker_id, **slow)
         emit: List[Tuple[Job, int, UnitResult]] = []
         finished_job: Optional[Job] = None
+        latency: Optional[float] = None
         with self._wakeup:
             started = self._dispatch_times.pop(event.task_id, None)
             if started is not None:
-                self.metrics.observe("serve.unit_latency",
-                                     time.monotonic() - started)
+                latency = time.monotonic() - started
+                self.metrics.observe("serve.unit_latency", latency)
             job = self._scheduler.jobs.get(job_id)
             for ready_index, ready in self._scheduler.complete(job_id, index,
                                                                result):
@@ -522,6 +652,10 @@ class ServeServer:
                 finished_job = job
             self._update_queue_gauges()
             self._wakeup.notify_all()
+        if latency is not None:
+            self.ops.flight.record_span(
+                f"unit:{event.task_id}", latency, worker=event.worker_id,
+                kind=event.kind, error=bool(result.error))
         for job, ready_index, ready in emit:
             self._emit_result(job, ready_index, ready)
         if finished_job is not None:
@@ -584,6 +718,12 @@ class ServeServer:
             status = "cancelled" if job.cancelled else "ok"
             client.enqueue({"type": "job-done", "job": job.job_id,
                             "status": status, "units": len(results)})
+        self.ops.emit("info", "scheduler", "job-done", job=job.job_id,
+                      units=len(results), cancelled=job.cancelled,
+                      dropped=job.dropped, wall=round(wall_clock, 6))
+        self.ops.flight.record_span(f"job:{job.job_id}", wall_clock,
+                                    units=len(results),
+                                    cancelled=job.cancelled)
         self._graft_job_trace(job, results)
         with self._wakeup:
             self._wakeup.notify_all()
@@ -655,8 +795,19 @@ class ServeServer:
                     os.unlink(self.config.socket_path)
                 except OSError:
                     pass
+            if self.config.metrics_path:
+                try:                          # final scrape-able snapshot
+                    write_metrics_file(self.config.metrics_path,
+                                       self.metrics.snapshot())
+                except OSError:
+                    pass
+            self.ops.emit("info", "server", "stopped",
+                          reload=self.reload_requested,
+                          units=int(self.metrics.snapshot()["counters"].get(
+                              "serve.units_completed", 0)))
         finally:
             self._stopped.set()
+            self.ops.close()
 
 
 __all__ = ["ServeConfig", "ServeServer"]

@@ -559,6 +559,47 @@ def test_status_and_ping(serve_socket):
         server.close()
 
 
+def test_status_reports_worker_detail_and_uptime(serve_socket):
+    server = _start_server(serve_socket, workers=2)
+    try:
+        with ServeClient(serve_socket, name="detail-probe") as client:
+            client.check([("a.c", STABLE), ("b.c", STABLE), ("c.c", STABLE)])
+            status = client.status()
+            assert status["uptime_units"] == 3
+            detail = status["workers_detail"]
+            assert len(detail) == 2
+            assert {worker["pid"] for worker in detail} == \
+                set(status["worker_pids"])
+            assert sum(worker["units_done"] for worker in detail) == 3
+            assert all(worker["restarts"] == 0 for worker in detail)
+            assert all(worker["state"] in ("idle", "busy")
+                       for worker in detail)
+            # The snapshot is taken atomically under the scheduler lock: the
+            # direct fields and the serve.* gauges describe one instant.
+            gauges = status["metrics"]["gauges"]
+            assert gauges["serve.queue_depth"] == status["queue_depth"]
+            assert gauges["serve.in_flight"] == status["in_flight"]
+            assert gauges["serve.active_jobs"] == status["active_jobs"]
+    finally:
+        server.close()
+
+
+def test_metrics_op_serves_prometheus_text(serve_socket):
+    from repro.obs.promexport import validate_prometheus_text
+
+    server = _start_server(serve_socket, workers=1)
+    try:
+        with ServeClient(serve_socket, name="scraper") as client:
+            client.check([("a.c", UNSTABLE)])
+            reply = client.metrics()
+            families = validate_prometheus_text(reply["text"])
+            assert families["serve_units_completed"]["value"] == 1
+            assert families["serve_unit_latency"]["type"] == "histogram"
+            assert reply["snapshot"]["counters"]["serve.units_completed"] == 1
+    finally:
+        server.close()
+
+
 def test_connecting_to_a_dead_socket_fails_cleanly(tmp_path):
     with pytest.raises(ServeError):
         ServeClient(str(tmp_path / "nobody-home.sock"))
